@@ -1,0 +1,58 @@
+//! Section 4.3 micro-analysis: the cost of one Devil interface call
+//! versus the hand-written equivalent, plus the interpreter's own
+//! wall-clock overhead (which motivates the generated-code back end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use devil_runtime::{DeviceAccess, DeviceInstance, FakeAccess};
+use std::hint::black_box;
+
+fn instance() -> DeviceInstance {
+    let model = devil_sema::check_source(drivers::specs::BUSMOUSE, &[]).unwrap();
+    DeviceInstance::new(devil_ir::lower(&model))
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_stub");
+
+    // Hand-written equivalent of the config write: mask + or.
+    g.bench_function("hand_masked_write", |b| {
+        let mut dev = FakeAccess::new();
+        b.iter(|| {
+            let v: u64 = black_box(1);
+            dev.write(0, 3, 8, (v & 0x91) | 0x90);
+            black_box(&dev);
+        })
+    });
+
+    // The interpreted stub doing the same masked write.
+    g.bench_function("interp_masked_write", |b| {
+        let mut inst = instance();
+        let mut dev = FakeAccess::new();
+        b.iter(|| {
+            inst.write(&mut dev, "config", black_box(1)).unwrap();
+            black_box(&dev);
+        })
+    });
+
+    // A full structure read (8 fake I/O operations + extraction).
+    g.bench_function("interp_struct_read", |b| {
+        let mut inst = instance();
+        let mut dev = FakeAccess::new();
+        b.iter(|| {
+            inst.read_struct(&mut dev, "mouse_state").unwrap();
+            black_box(inst.get_field("dx").unwrap());
+        })
+    });
+
+    // Compilation pipeline cost: parse + check + lower.
+    g.bench_function("compile_busmouse_spec", |b| {
+        b.iter(|| {
+            let model = devil_sema::check_source(black_box(drivers::specs::BUSMOUSE), &[]).unwrap();
+            black_box(devil_ir::lower(&model));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench regenerating Table 1 (robustness): mutation
+//! analysis of the busmouse driver in C, Devil, and CDevil. The bench
+//! also prints the measured coverage statistics once.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the headline comparison once per run.
+    let d = mutation::engine::analyze_device(
+        "Logitech Busmouse",
+        mutation::fixtures::BUSMOUSE_C,
+        mutation::engine::SPEC_BUSMOUSE,
+        mutation::fixtures::BUSMOUSE_CDEVIL,
+        "bm",
+    );
+    println!(
+        "busmouse: C sites-with-undetected {:.1}, CDevil {:.1}, ratio {:.1} (paper: 5.9)",
+        d.c.sites_with_undetected(),
+        d.cdevil.sites_with_undetected(),
+        d.ratio_cdevil()
+    );
+
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("busmouse_c_mutation", |b| {
+        b.iter(|| black_box(mutation::analyze_c(mutation::fixtures::BUSMOUSE_C, &[])))
+    });
+    g.bench_function("busmouse_devil_mutation", |b| {
+        b.iter(|| black_box(mutation::analyze_devil(mutation::engine::SPEC_BUSMOUSE)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Table 2 (IDE driver performance).
+//! Prints the full table once, then times representative rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use devil_eval::table2;
+use drivers::PioMove;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let rows = table2::run(PioMove::Loop);
+    print!("{}", table2::render(&rows, "Table 2 (C loops)"));
+
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("pio_sweep_loop", |b| b.iter(|| black_box(table2::run(PioMove::Loop))));
+    g.bench_function("pio_sweep_block", |b| b.iter(|| black_box(table2::run(PioMove::Block))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench regenerating Table 3 (rectangle fill).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use devil_eval::table34::{render, run, run_cell, Primitive};
+use drivers::Depth;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let rows = run(Primitive::Fill);
+    print!("{}", render(&rows, "Table 3: rectangle fill", "rect/s"));
+
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("fill_2x2_8bpp", |b| {
+        b.iter(|| black_box(run_cell(Primitive::Fill, Depth::Bpp8, 2)))
+    });
+    g.bench_function("fill_400x400_32bpp", |b| {
+        b.iter(|| black_box(run_cell(Primitive::Fill, Depth::Bpp32, 400)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

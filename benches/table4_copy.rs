@@ -1,0 +1,24 @@
+//! Criterion bench regenerating Table 4 (screen copy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use devil_eval::table34::{render, run, run_cell, Primitive};
+use drivers::Depth;
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let rows = run(Primitive::Copy);
+    print!("{}", render(&rows, "Table 4: screen copy", "copies/s"));
+
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("copy_2x2_8bpp", |b| {
+        b.iter(|| black_box(run_cell(Primitive::Copy, Depth::Bpp8, 2)))
+    });
+    g.bench_function("copy_100x100_16bpp", |b| {
+        b.iter(|| black_box(run_cell(Primitive::Copy, Depth::Bpp16, 100)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,295 @@
+//! Behavioural model of the Logitech bus-mouse controller.
+//!
+//! The interface matches the paper's Figure 1: four 8-bit ports.
+//!
+//! | offset | direction | function |
+//! |--------|-----------|----------|
+//! | 0      | read      | data (nibble selected by the index bits)     |
+//! | 1      | read      | signature register                           |
+//! | 2      | write     | control: bit 4 = interrupt disable, bits 6..5 = nibble index (when bit 7 set) |
+//! | 3      | write     | configuration register                       |
+//!
+//! Reading all four nibbles (in any order) completes a pickup and
+//! clears the motion counters, so deltas are delivered exactly once.
+
+use hwsim::{Device, IrqLine, Width};
+
+/// Nibble index values written to the control port.
+const IDX_X_LOW: u8 = 0;
+const IDX_X_HIGH: u8 = 1;
+const IDX_Y_LOW: u8 = 2;
+const IDX_Y_HIGH: u8 = 3;
+
+/// The simulated mouse controller.
+pub struct Busmouse {
+    /// Accumulated X motion since the last full read.
+    dx: i8,
+    /// Accumulated Y motion since the last full read.
+    dy: i8,
+    /// Button state (3 bits, active-high here).
+    buttons: u8,
+    /// Latched copies served to the driver while it reads nibbles.
+    latched_dx: i8,
+    latched_dy: i8,
+    latched_buttons: u8,
+    /// Currently selected nibble index (control bits 6..5).
+    index: u8,
+    /// Which nibbles have been read since the last latch (bit per
+    /// index); a full pickup clears the counters.
+    read_mask: u8,
+    /// Interrupt enable (control bit 4 is *disable*).
+    irq_enabled: bool,
+    /// Configuration byte (stored, observable in tests).
+    config: u8,
+    /// Signature the driver probes for.
+    signature: u8,
+    irq: IrqLine,
+}
+
+impl Busmouse {
+    /// The signature value Linux probes for.
+    pub const SIGNATURE: u8 = 0xa5;
+
+    /// Creates an idle mouse wired to `irq`.
+    pub fn new(irq: IrqLine) -> Self {
+        Busmouse {
+            dx: 0,
+            dy: 0,
+            buttons: 0,
+            latched_dx: 0,
+            latched_dy: 0,
+            latched_buttons: 0,
+            index: 0,
+            read_mask: 0,
+            irq_enabled: false,
+            config: 0,
+            signature: Self::SIGNATURE,
+            irq,
+        }
+    }
+
+    /// Simulates physical motion (harness side).
+    pub fn move_by(&mut self, dx: i8, dy: i8) {
+        self.dx = self.dx.saturating_add(dx);
+        self.dy = self.dy.saturating_add(dy);
+        self.latch();
+        if self.irq_enabled {
+            self.irq.raise();
+        }
+    }
+
+    /// Simulates button changes (3-bit mask).
+    pub fn set_buttons(&mut self, buttons: u8) {
+        self.buttons = buttons & 0x7;
+        self.latch();
+        if self.irq_enabled {
+            self.irq.raise();
+        }
+    }
+
+    /// The last written configuration byte.
+    pub fn config(&self) -> u8 {
+        self.config
+    }
+
+    /// Whether interrupts are currently enabled.
+    pub fn irq_enabled(&self) -> bool {
+        self.irq_enabled
+    }
+
+    fn latch(&mut self) {
+        self.latched_dx = self.dx;
+        self.latched_dy = self.dy;
+        self.latched_buttons = self.buttons;
+        self.read_mask = 0;
+    }
+
+    fn data_nibble(&mut self) -> u8 {
+        let v = match self.index {
+            IDX_X_LOW => (self.latched_dx as u8) & 0x0f,
+            IDX_X_HIGH => ((self.latched_dx as u8) >> 4) & 0x0f,
+            IDX_Y_LOW => (self.latched_dy as u8) & 0x0f,
+            IDX_Y_HIGH => {
+                // Buttons in bits 7..5 (inverted on real hardware; the
+                // Linux driver re-inverts — we keep them active-high and
+                // the drivers treat them symmetrically).
+                (((self.latched_dy as u8) >> 4) & 0x0f)
+                    | ((self.latched_buttons & 0x7) << 5)
+            }
+            _ => 0,
+        };
+        // A full pickup (all four nibbles read, in any order) clears
+        // the counters so deltas are delivered exactly once.
+        self.read_mask |= 1 << self.index;
+        if self.read_mask == 0x0f {
+            self.dx = 0;
+            self.dy = 0;
+            self.latched_dx = 0;
+            self.latched_dy = 0;
+            self.read_mask = 0;
+            self.irq.clear();
+        }
+        v
+    }
+}
+
+impl Device for Busmouse {
+    fn name(&self) -> &str {
+        "logitech_busmouse"
+    }
+
+    fn io_read(&mut self, offset: u64, _width: Width) -> u64 {
+        match offset {
+            0 => self.data_nibble() as u64,
+            1 => self.signature as u64,
+            _ => 0xff,
+        }
+    }
+
+    fn io_write(&mut self, offset: u64, value: u64, _width: Width) {
+        let v = value as u8;
+        match offset {
+            2 => {
+                // Control port: bit 7 set selects the nibble index in
+                // bits 6..5 (the Devil spec's index_reg, mask
+                // '1**00000'); bit-7-clear writes configure interrupts
+                // (interrupt_reg, mask '000*0000', bit 4 = disable).
+                if v & 0x80 != 0 {
+                    self.index = (v >> 5) & 0x3;
+                } else {
+                    self.irq_enabled = v & 0x10 == 0;
+                }
+            }
+            3 => self.config = v,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::Bus;
+
+    const BASE: u64 = 0x23c;
+
+    fn setup() -> (Bus, IrqLine) {
+        let irq = IrqLine::new();
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(Busmouse::new(irq.clone())), BASE, 4);
+        (bus, irq)
+    }
+
+    /// Reads all four nibbles the way the original driver does.
+    fn read_state(bus: &mut Bus) -> (i8, i8, u8) {
+        bus.outb(BASE + 2, 0x80 | (IDX_X_LOW << 5));
+        let xl = bus.inb(BASE) & 0x0f;
+        bus.outb(BASE + 2, 0x80 | (IDX_X_HIGH << 5));
+        let xh = bus.inb(BASE) & 0x0f;
+        bus.outb(BASE + 2, 0x80 | (IDX_Y_LOW << 5));
+        let yl = bus.inb(BASE) & 0x0f;
+        bus.outb(BASE + 2, 0x80 | (IDX_Y_HIGH << 5));
+        let yh_raw = bus.inb(BASE);
+        let dx = ((xh << 4) | xl) as i8;
+        let dy = (((yh_raw & 0x0f) << 4) | yl) as i8;
+        let buttons = (yh_raw >> 5) & 0x7;
+        (dx, dy, buttons)
+    }
+
+    #[test]
+    fn signature_probe() {
+        let (mut bus, _) = setup();
+        assert_eq!(bus.inb(BASE + 1), Busmouse::SIGNATURE);
+    }
+
+    #[test]
+    fn motion_read_back() {
+        let irq = IrqLine::new();
+        let mut dev = Busmouse::new(irq);
+        dev.move_by(5, -3);
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(dev), BASE, 4);
+        let (dx, dy, buttons) = read_state(&mut bus);
+        assert_eq!(dx, 5);
+        assert_eq!(dy, -3);
+        assert_eq!(buttons, 0);
+    }
+
+    #[test]
+    fn buttons_in_y_high() {
+        let irq = IrqLine::new();
+        let mut dev = Busmouse::new(irq);
+        dev.move_by(0, 0);
+        dev.set_buttons(0b101);
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(dev), BASE, 4);
+        let (_, _, buttons) = read_state(&mut bus);
+        assert_eq!(buttons, 0b101);
+    }
+
+    #[test]
+    fn counters_clear_after_full_read() {
+        let irq = IrqLine::new();
+        let mut dev = Busmouse::new(irq);
+        dev.move_by(7, 2);
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(dev), BASE, 4);
+        let (dx, _, _) = read_state(&mut bus);
+        assert_eq!(dx, 7);
+        let (dx2, dy2, _) = read_state(&mut bus);
+        assert_eq!((dx2, dy2), (0, 0), "second read sees cleared counters");
+    }
+
+    #[test]
+    fn irq_raises_on_motion_when_enabled() {
+        let (mut bus, irq) = setup();
+        // Enable interrupts: control write with bit 7 clear, bit 4 clear.
+        bus.outb(BASE + 2, 0x00);
+        // Simulate motion from the harness side via a fresh device —
+        // instead drive through a dedicated instance.
+        let irq2 = IrqLine::new();
+        let mut dev = Busmouse::new(irq2.clone());
+        dev.io_write(2, 0x00, Width::W8);
+        dev.move_by(1, 0);
+        assert!(irq2.pending());
+        // A full pickup (all four nibbles) acknowledges.
+        for idx in [IDX_X_LOW, IDX_X_HIGH, IDX_Y_LOW, IDX_Y_HIGH] {
+            dev.io_write(2, (0x80 | (idx << 5)) as u64, Width::W8);
+            dev.io_read(0, Width::W8);
+        }
+        assert!(!irq2.pending());
+        let _ = (bus.inb(BASE), irq.pending());
+    }
+
+    #[test]
+    fn irq_disabled_by_control_bit4() {
+        let irq = IrqLine::new();
+        let mut dev = Busmouse::new(irq.clone());
+        dev.io_write(2, 0x10, Width::W8); // disable
+        dev.move_by(1, 1);
+        assert!(!irq.pending());
+        assert!(!dev.irq_enabled());
+    }
+
+    #[test]
+    fn config_write_stored() {
+        let irq = IrqLine::new();
+        let mut dev = Busmouse::new(irq);
+        dev.io_write(3, 0x91, Width::W8);
+        assert_eq!(dev.config(), 0x91);
+    }
+
+    #[test]
+    fn saturating_motion_accumulation() {
+        let irq = IrqLine::new();
+        let mut dev = Busmouse::new(irq);
+        dev.move_by(120, 0);
+        dev.move_by(120, 0);
+        // Saturates instead of wrapping.
+        dev.io_write(2, (0x80u64) | ((IDX_X_HIGH as u64) << 5), Width::W8);
+        let xh = dev.io_read(0, Width::W8) as u8;
+        dev.io_write(2, (0x80u64) | ((IDX_X_LOW as u64) << 5), Width::W8);
+        let xl = dev.io_read(0, Width::W8) as u8;
+        assert_eq!((((xh & 0xf) << 4) | (xl & 0xf)) as i8, 127);
+    }
+}

@@ -1,0 +1,201 @@
+//! Behavioural model of the Crystal CS4236B audio codec's register
+//! automata.
+//!
+//! The paper calls this "one of the most complex" chips it specified:
+//! on top of the Windows Sound System indexed registers `I0..I31`
+//! (addressed through the index written at `base@0`), register `I23`
+//! is itself a gateway — writing it with `XRAE` set converts it into an
+//! *extended data register* whose target `X0..X17,X25` was selected by
+//! the `XA` bits, until the control register is written again. The
+//! model implements exactly that automaton.
+
+use hwsim::{Device, Width};
+
+/// Number of indexed registers.
+pub const INDEXED: usize = 32;
+/// Indices of the valid extended registers.
+pub const EXTENDED_VALID: [usize; 19] =
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 25];
+
+/// The gateway register index.
+pub const GATEWAY: usize = 23;
+
+/// The simulated codec.
+pub struct Cs4236b {
+    /// Indexed registers I0..I31.
+    pub i_regs: [u8; INDEXED],
+    /// Extended registers X0..X25 (only the valid ones are reachable).
+    pub x_regs: [u8; 26],
+    /// Current index (IA bits of the control register).
+    index: u8,
+    /// Extended-access mode: `I23` acts as extended data register.
+    xm: bool,
+    /// Extended address latched from I23's XA bits.
+    xa: u8,
+}
+
+impl Default for Cs4236b {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Cs4236b {
+    /// Creates a codec with zeroed registers.
+    pub fn new() -> Self {
+        Cs4236b { i_regs: [0; INDEXED], x_regs: [0; 26], index: 0, xm: false, xa: 0 }
+    }
+
+    /// Whether the automaton is in extended-data mode (tests).
+    pub fn extended_mode(&self) -> bool {
+        self.xm
+    }
+
+    /// Decodes the XA field of an I23 write: bits 7..4 and bit 2 form
+    /// the 5-bit extended address (paper: `XA = I23[2,7..4]`).
+    fn decode_xa(v: u8) -> u8 {
+        (((v >> 2) & 0x1) << 4) | ((v >> 4) & 0x0f)
+    }
+}
+
+impl Device for Cs4236b {
+    fn name(&self) -> &str {
+        "cs4236b"
+    }
+
+    fn io_read(&mut self, offset: u64, _width: Width) -> u64 {
+        match offset {
+            0 => self.index as u64,
+            1 => {
+                if self.xm && self.index as usize == GATEWAY {
+                    self.x_regs[self.xa as usize] as u64
+                } else {
+                    self.i_regs[self.index as usize] as u64
+                }
+            }
+            _ => 0xff,
+        }
+    }
+
+    fn io_write(&mut self, offset: u64, value: u64, _width: Width) {
+        let v = value as u8;
+        match offset {
+            0 => {
+                // Control register: selects the index and always leaves
+                // extended mode (the paper's `set {xm = false}`).
+                self.index = v & 0x1f;
+                self.xm = false;
+            }
+            1 => {
+                if self.index as usize == GATEWAY {
+                    if self.xm {
+                        // Extended data write.
+                        self.x_regs[self.xa as usize] = v;
+                    } else {
+                        // I23 write: bit 3 = XRAE (enter extended mode).
+                        self.i_regs[GATEWAY] = v;
+                        if v & 0x08 != 0 {
+                            self.xa = Self::decode_xa(v);
+                            if EXTENDED_VALID.contains(&(self.xa as usize)) {
+                                self.xm = true;
+                            }
+                        }
+                    }
+                } else {
+                    self.i_regs[self.index as usize] = v;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexed_register_access() {
+        let mut c = Cs4236b::new();
+        c.io_write(0, 5, Width::W8);
+        c.io_write(1, 0x7e, Width::W8);
+        assert_eq!(c.i_regs[5], 0x7e);
+        c.io_write(0, 6, Width::W8);
+        assert_eq!(c.io_read(1, Width::W8), 0);
+        c.io_write(0, 5, Width::W8);
+        assert_eq!(c.io_read(1, Width::W8), 0x7e);
+    }
+
+    #[test]
+    fn index_is_masked_to_five_bits() {
+        let mut c = Cs4236b::new();
+        c.io_write(0, 0xe3, Width::W8);
+        assert_eq!(c.io_read(0, Width::W8), 0x03);
+    }
+
+    #[test]
+    fn gateway_enters_extended_mode() {
+        let mut c = Cs4236b::new();
+        c.io_write(0, GATEWAY as u64, Width::W8);
+        // XA = 5 → bits 7..4 = 5, bit 2 = 0; XRAE = bit 3.
+        let i23 = (5u64 << 4) | 0x08;
+        c.io_write(1, i23, Width::W8);
+        assert!(c.extended_mode());
+        // Next data write goes to X5.
+        c.io_write(1, 0x42, Width::W8);
+        assert_eq!(c.x_regs[5], 0x42);
+        assert_eq!(c.io_read(1, Width::W8), 0x42);
+        // I23 itself kept its gateway value.
+        assert_eq!(c.i_regs[GATEWAY], i23 as u8);
+    }
+
+    #[test]
+    fn xa_decodes_bit2_as_msb() {
+        // XA = 16 + 1 = 0b10001: bit 2 set, low nibble 1 in bits 7..4.
+        let v = (1u8 << 4) | (1 << 2) | 0x08;
+        let mut c = Cs4236b::new();
+        c.io_write(0, GATEWAY as u64, Width::W8);
+        c.io_write(1, v as u64, Width::W8);
+        assert!(c.extended_mode());
+        c.io_write(1, 0x99, Width::W8);
+        assert_eq!(c.x_regs[17], 0x99);
+    }
+
+    #[test]
+    fn control_write_leaves_extended_mode() {
+        let mut c = Cs4236b::new();
+        c.io_write(0, GATEWAY as u64, Width::W8);
+        c.io_write(1, (5u64 << 4) | 0x08, Width::W8);
+        assert!(c.extended_mode());
+        // Writing the control register exits extended mode even when it
+        // re-selects the gateway index.
+        c.io_write(0, GATEWAY as u64, Width::W8);
+        assert!(!c.extended_mode());
+        // A plain (XRAE clear) I23 write stays in normal mode.
+        c.io_write(1, 0x00, Width::W8);
+        assert!(!c.extended_mode());
+        assert_eq!(c.i_regs[GATEWAY], 0);
+    }
+
+    #[test]
+    fn invalid_extended_address_is_refused() {
+        let mut c = Cs4236b::new();
+        c.io_write(0, GATEWAY as u64, Width::W8);
+        // XA = 20 (invalid: only 0..17 and 25 exist).
+        let v = (4u64 << 4) | (1 << 2) | 0x08;
+        c.io_write(1, v, Width::W8);
+        assert!(!c.extended_mode());
+    }
+
+    #[test]
+    fn x25_reachable() {
+        let mut c = Cs4236b::new();
+        c.io_write(0, GATEWAY as u64, Width::W8);
+        // 25 = 0b11001: bit2=1 (16), bits 7..4 = 9.
+        let v = (9u64 << 4) | (1 << 2) | 0x08;
+        c.io_write(1, v, Width::W8);
+        assert!(c.extended_mode());
+        c.io_write(1, 0x5a, Width::W8);
+        assert_eq!(c.x_regs[25], 0x5a);
+    }
+}

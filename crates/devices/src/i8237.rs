@@ -1,0 +1,325 @@
+//! Behavioural model of the Intel 8237A DMA controller.
+//!
+//! The Devil-relevant feature is its contorted addressing: 16-bit base
+//! address and count registers accessed through single 8-bit ports, low
+//! byte first, sequenced by an internal **flip-flop** that a write to
+//! port 0x0c resets — the paper's register-serialization example.
+
+use hwsim::{Device, SharedMem, Width};
+
+/// Number of channels.
+pub const CHANNELS: usize = 4;
+
+/// Register offsets (channel regs at `2*ch` / `2*ch + 1`).
+pub mod reg {
+    /// Command register.
+    pub const COMMAND: u64 = 0x08;
+    /// Request register.
+    pub const REQUEST: u64 = 0x09;
+    /// Single-bit mask register.
+    pub const SINGLE_MASK: u64 = 0x0a;
+    /// Mode register.
+    pub const MODE: u64 = 0x0b;
+    /// Clear flip-flop (write any value).
+    pub const CLEAR_FF: u64 = 0x0c;
+    /// Master clear.
+    pub const MASTER_CLEAR: u64 = 0x0d;
+    /// All-bits mask register.
+    pub const ALL_MASK: u64 = 0x0f;
+}
+
+/// Transfer direction encoded in the mode register bits 3..2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Memory verify (no transfer).
+    Verify,
+    /// Device → memory.
+    Write,
+    /// Memory → device.
+    Read,
+}
+
+/// One DMA channel's programmed state.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Channel {
+    /// Base address as programmed.
+    pub base_addr: u16,
+    /// Base count as programmed (transfers - 1, per 8237 convention).
+    pub base_count: u16,
+    /// Current address.
+    pub cur_addr: u16,
+    /// Current remaining count.
+    pub cur_count: u16,
+    /// Mode byte.
+    pub mode: u8,
+    /// Channel masked (disabled).
+    pub masked: bool,
+    /// Terminal count reached.
+    pub tc: bool,
+}
+
+impl Channel {
+    /// The decoded transfer direction.
+    pub fn direction(&self) -> Direction {
+        match (self.mode >> 2) & 0x3 {
+            0b01 => Direction::Write,
+            0b10 => Direction::Read,
+            _ => Direction::Verify,
+        }
+    }
+}
+
+/// The simulated 8237A.
+pub struct I8237 {
+    /// Per-channel state.
+    pub channels: [Channel; CHANNELS],
+    /// The byte-pointer flip-flop: `false` = next access is low byte.
+    flip_flop: bool,
+    /// Page registers extend the 16-bit address (one per channel).
+    pub pages: [u8; CHANNELS],
+    command: u8,
+    mem: SharedMem,
+}
+
+impl I8237 {
+    /// Creates a controller with all channels masked.
+    pub fn new(mem: SharedMem) -> Self {
+        let mut channels = [Channel::default(); CHANNELS];
+        for c in &mut channels {
+            c.masked = true;
+        }
+        I8237 { channels, flip_flop: false, pages: [0; CHANNELS], command: 0, mem }
+    }
+
+    /// Current flip-flop state (tests).
+    pub fn flip_flop(&self) -> bool {
+        self.flip_flop
+    }
+
+    fn full_addr(&self, ch: usize) -> usize {
+        ((self.pages[ch] as usize) << 16) | self.channels[ch].cur_addr as usize
+    }
+
+    /// Performs a device-initiated transfer of `data` on `ch`
+    /// (device → memory when the mode says Write). Returns the bytes
+    /// read from memory for Read transfers.
+    pub fn device_transfer(&mut self, ch: usize, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        if self.channels[ch].masked {
+            return out;
+        }
+        let dir = self.channels[ch].direction();
+        for &b in data.iter().take(self.channels[ch].cur_count as usize + 1) {
+            let addr = self.full_addr(ch);
+            match dir {
+                Direction::Write => self.mem.write_u8(addr, b),
+                Direction::Read => out.push(self.mem.read_u8(addr)),
+                Direction::Verify => {}
+            }
+            let c = &mut self.channels[ch];
+            c.cur_addr = c.cur_addr.wrapping_add(1);
+            if c.cur_count == 0 {
+                c.tc = true;
+                break;
+            }
+            c.cur_count -= 1;
+        }
+        out
+    }
+}
+
+impl Device for I8237 {
+    fn name(&self) -> &str {
+        "i8237a"
+    }
+
+    fn io_read(&mut self, offset: u64, _width: Width) -> u64 {
+        match offset {
+            0..=7 => {
+                let ch = (offset / 2) as usize;
+                let is_count = offset % 2 == 1;
+                let v = if is_count {
+                    self.channels[ch].cur_count
+                } else {
+                    self.channels[ch].cur_addr
+                };
+                let byte = if self.flip_flop { (v >> 8) as u8 } else { v as u8 };
+                self.flip_flop = !self.flip_flop;
+                byte as u64
+            }
+            reg::COMMAND => {
+                // Status: TC bits 3..0.
+                let mut s = 0u8;
+                for (i, c) in self.channels.iter().enumerate() {
+                    if c.tc {
+                        s |= 1 << i;
+                    }
+                }
+                s as u64
+            }
+            _ => 0xff,
+        }
+    }
+
+    fn io_write(&mut self, offset: u64, value: u64, _width: Width) {
+        let v = value as u8;
+        match offset {
+            0..=7 => {
+                let ch = (offset / 2) as usize;
+                let is_count = offset % 2 == 1;
+                let target = if is_count {
+                    &mut self.channels[ch].base_count
+                } else {
+                    &mut self.channels[ch].base_addr
+                };
+                if self.flip_flop {
+                    *target = (*target & 0x00ff) | ((v as u16) << 8);
+                } else {
+                    *target = (*target & 0xff00) | v as u16;
+                }
+                // Writing base also loads current.
+                if is_count {
+                    self.channels[ch].cur_count = self.channels[ch].base_count;
+                } else {
+                    self.channels[ch].cur_addr = self.channels[ch].base_addr;
+                }
+                self.flip_flop = !self.flip_flop;
+            }
+            reg::COMMAND => self.command = v,
+            reg::REQUEST => {}
+            reg::SINGLE_MASK => {
+                let ch = (v & 0x3) as usize;
+                self.channels[ch].masked = v & 0x4 != 0;
+            }
+            reg::MODE => {
+                let ch = (v & 0x3) as usize;
+                self.channels[ch].mode = v;
+            }
+            reg::CLEAR_FF => self.flip_flop = false,
+            reg::MASTER_CLEAR => {
+                *self = I8237::new(self.mem.clone());
+            }
+            reg::ALL_MASK => {
+                for (i, c) in self.channels.iter_mut().enumerate() {
+                    c.masked = v & (1 << i) != 0;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dma() -> (I8237, SharedMem) {
+        let mem = SharedMem::new(1 << 17);
+        (I8237::new(mem.clone()), mem)
+    }
+
+    #[test]
+    fn flip_flop_sequences_16bit_writes() {
+        let (mut d, _) = dma();
+        d.io_write(reg::CLEAR_FF, 0, Width::W8);
+        // Channel 1 address port = 2.
+        d.io_write(2, 0x34, Width::W8);
+        d.io_write(2, 0x12, Width::W8);
+        assert_eq!(d.channels[1].base_addr, 0x1234);
+        // Count port = 3.
+        d.io_write(3, 0xff, Width::W8);
+        d.io_write(3, 0x01, Width::W8);
+        assert_eq!(d.channels[1].base_count, 0x01ff);
+    }
+
+    #[test]
+    fn clear_ff_resets_byte_pointer() {
+        let (mut d, _) = dma();
+        d.io_write(2, 0x34, Width::W8); // low byte; ff now high
+        assert!(d.flip_flop());
+        d.io_write(reg::CLEAR_FF, 0xaa, Width::W8); // any value resets
+        assert!(!d.flip_flop());
+        d.io_write(2, 0x78, Width::W8); // low byte again
+        assert_eq!(d.channels[1].base_addr & 0xff, 0x78);
+    }
+
+    #[test]
+    fn counter_read_back_via_flip_flop() {
+        let (mut d, _) = dma();
+        d.io_write(reg::CLEAR_FF, 0, Width::W8);
+        d.io_write(5, 0xcd, Width::W8);
+        d.io_write(5, 0xab, Width::W8);
+        d.io_write(reg::CLEAR_FF, 0, Width::W8);
+        let lo = d.io_read(5, Width::W8);
+        let hi = d.io_read(5, Width::W8);
+        assert_eq!(lo | (hi << 8), 0xabcd);
+    }
+
+    #[test]
+    fn device_to_memory_transfer() {
+        let (mut d, mem) = dma();
+        d.io_write(reg::CLEAR_FF, 0, Width::W8);
+        d.io_write(0, 0x00, Width::W8);
+        d.io_write(0, 0x10, Width::W8); // addr 0x1000
+        d.io_write(1, 3, Width::W8);
+        d.io_write(1, 0, Width::W8); // count 3 -> 4 transfers
+        d.io_write(reg::MODE, 0b0000_0100, Width::W8); // ch0 write (dev->mem)
+        d.io_write(reg::SINGLE_MASK, 0x00, Width::W8); // unmask ch0
+        let leftover = d.device_transfer(0, &[1, 2, 3, 4, 5]);
+        assert!(leftover.is_empty());
+        assert_eq!(mem.read_u8(0x1000), 1);
+        assert_eq!(mem.read_u8(0x1003), 4);
+        assert!(d.channels[0].tc, "terminal count after 4 transfers");
+        // Status read reports TC for channel 0.
+        assert_eq!(d.io_read(reg::COMMAND, Width::W8) & 0x1, 1);
+    }
+
+    #[test]
+    fn memory_to_device_transfer() {
+        let (mut d, mem) = dma();
+        mem.write(0x2000, &[0xaa, 0xbb]);
+        d.io_write(reg::CLEAR_FF, 0, Width::W8);
+        d.io_write(4, 0x00, Width::W8);
+        d.io_write(4, 0x20, Width::W8); // ch2 addr 0x2000
+        d.io_write(5, 1, Width::W8);
+        d.io_write(5, 0, Width::W8);
+        d.io_write(reg::MODE, 0b0000_1010, Width::W8); // ch2 read (mem->dev)
+        d.io_write(reg::SINGLE_MASK, 0x02, Width::W8); // unmask ch2
+        let out = d.device_transfer(2, &[0, 0]);
+        assert_eq!(out, vec![0xaa, 0xbb]);
+    }
+
+    #[test]
+    fn masked_channel_refuses_transfer() {
+        let (mut d, _) = dma();
+        let out = d.device_transfer(0, &[1, 2, 3]);
+        assert!(out.is_empty());
+        assert!(!d.channels[0].tc);
+    }
+
+    #[test]
+    fn page_register_extends_address() {
+        let (mut d, mem) = dma();
+        d.pages[0] = 0x1;
+        d.io_write(reg::CLEAR_FF, 0, Width::W8);
+        d.io_write(0, 0x00, Width::W8);
+        d.io_write(0, 0x00, Width::W8);
+        d.io_write(1, 0, Width::W8);
+        d.io_write(1, 0, Width::W8);
+        d.io_write(reg::MODE, 0b0000_0100, Width::W8);
+        d.io_write(reg::SINGLE_MASK, 0x00, Width::W8);
+        d.device_transfer(0, &[0x5a]);
+        assert_eq!(mem.read_u8(0x10000), 0x5a);
+    }
+
+    #[test]
+    fn master_clear_resets_everything() {
+        let (mut d, _) = dma();
+        d.io_write(0, 0x12, Width::W8);
+        d.io_write(reg::SINGLE_MASK, 0x00, Width::W8);
+        d.io_write(reg::MASTER_CLEAR, 0, Width::W8);
+        assert!(!d.flip_flop());
+        assert!(d.channels[0].masked);
+        assert_eq!(d.channels[0].base_addr, 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Behavioural model of the Intel 8259A programmable interrupt
+//! controller.
+//!
+//! The Devil-relevant behaviour is its **control-flow-based register
+//! serialization**: three of the four initialization command words
+//! (`icw2..icw4`) share one port, implicitly addressed by the values of
+//! previously written configuration bits (`SNGL` skips ICW3, `IC4`
+//! skips ICW4) — the paper's `serialized as { icw1; icw2; if (...) }`
+//! example.
+
+use hwsim::{Device, IrqLine, Width};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum InitState {
+    Ready,
+    ExpectIcw2,
+    ExpectIcw3,
+    ExpectIcw4,
+}
+
+/// The simulated 8259A.
+pub struct I8259 {
+    state: InitState,
+    /// ICW1 latched value.
+    icw1: u8,
+    /// Vector base (ICW2 high bits).
+    pub vector_base: u8,
+    /// Cascade configuration (ICW3).
+    pub cascade: u8,
+    /// Mode byte (ICW4).
+    pub icw4: u8,
+    /// Interrupt mask register (OCW1).
+    imr: u8,
+    /// Interrupt request register.
+    irr: u8,
+    /// In-service register.
+    isr: u8,
+    /// Whether initialization completed.
+    initialized: bool,
+    int_line: IrqLine,
+}
+
+impl I8259 {
+    /// Creates an uninitialized controller driving `int_line` to the
+    /// CPU.
+    pub fn new(int_line: IrqLine) -> Self {
+        I8259 {
+            state: InitState::Ready,
+            icw1: 0,
+            vector_base: 0,
+            cascade: 0,
+            icw4: 0,
+            imr: 0xff,
+            irr: 0,
+            isr: 0,
+            initialized: false,
+            int_line,
+        }
+    }
+
+    /// Whether the init sequence has completed.
+    pub fn initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Whether ICW1 declared a single (non-cascaded) configuration.
+    pub fn single(&self) -> bool {
+        self.icw1 & 0x02 != 0
+    }
+
+    /// Whether ICW1 declared that ICW4 follows.
+    pub fn needs_icw4(&self) -> bool {
+        self.icw1 & 0x01 != 0
+    }
+
+    /// Device side: raises IRQ line `n` (0..=7).
+    pub fn raise_irq(&mut self, n: u8) {
+        self.irr |= 1 << n;
+        self.update_int();
+    }
+
+    fn update_int(&mut self) {
+        let pending = self.irr & !self.imr & !self.isr;
+        if self.initialized && pending != 0 {
+            self.int_line.raise();
+        } else {
+            self.int_line.clear();
+        }
+    }
+
+    /// CPU-side interrupt acknowledge: returns the vector of the highest
+    /// priority pending interrupt.
+    pub fn ack(&mut self) -> Option<u8> {
+        let pending = self.irr & !self.imr & !self.isr;
+        if pending == 0 || !self.initialized {
+            return None;
+        }
+        let n = pending.trailing_zeros() as u8;
+        self.irr &= !(1 << n);
+        self.isr |= 1 << n;
+        self.int_line.clear();
+        Some(self.vector_base + n)
+    }
+
+    fn finish_init_if_done(&mut self) {
+        if self.state == InitState::Ready {
+            self.initialized = true;
+        }
+    }
+}
+
+impl Device for I8259 {
+    fn name(&self) -> &str {
+        "i8259a"
+    }
+
+    fn io_read(&mut self, offset: u64, _width: Width) -> u64 {
+        match offset {
+            0 => self.irr as u64, // simplification: OCW3 selects IRR/ISR
+            1 => self.imr as u64,
+            _ => 0xff,
+        }
+    }
+
+    fn io_write(&mut self, offset: u64, value: u64, _width: Width) {
+        let v = value as u8;
+        match offset {
+            0 => {
+                if v & 0x10 != 0 {
+                    // ICW1: starts (or restarts) the init sequence.
+                    self.icw1 = v;
+                    self.state = InitState::ExpectIcw2;
+                    self.initialized = false;
+                    self.imr = 0;
+                    self.irr = 0;
+                    self.isr = 0;
+                } else if v & 0x20 != 0 {
+                    // OCW2 EOI: clear the highest in-service bit.
+                    if self.isr != 0 {
+                        let n = self.isr.trailing_zeros();
+                        self.isr &= !(1 << n);
+                    }
+                    self.update_int();
+                }
+            }
+            1 => {
+                match self.state {
+                    InitState::ExpectIcw2 => {
+                        self.vector_base = v & 0xf8;
+                        self.state = if self.single() {
+                            if self.needs_icw4() {
+                                InitState::ExpectIcw4
+                            } else {
+                                InitState::Ready
+                            }
+                        } else {
+                            InitState::ExpectIcw3
+                        };
+                        self.finish_init_if_done();
+                    }
+                    InitState::ExpectIcw3 => {
+                        self.cascade = v;
+                        self.state = if self.needs_icw4() {
+                            InitState::ExpectIcw4
+                        } else {
+                            InitState::Ready
+                        };
+                        self.finish_init_if_done();
+                    }
+                    InitState::ExpectIcw4 => {
+                        self.icw4 = v;
+                        self.state = InitState::Ready;
+                        self.finish_init_if_done();
+                    }
+                    InitState::Ready => {
+                        // OCW1: interrupt mask.
+                        self.imr = v;
+                        self.update_int();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pic() -> (I8259, IrqLine) {
+        let line = IrqLine::new();
+        (I8259::new(line.clone()), line)
+    }
+
+    #[test]
+    fn full_init_sequence_cascaded_with_icw4() {
+        let (mut p, _) = pic();
+        p.io_write(0, 0x11, Width::W8); // ICW1: init, IC4=1, SNGL=0
+        assert!(!p.initialized());
+        p.io_write(1, 0x20, Width::W8); // ICW2: vector base 0x20
+        p.io_write(1, 0x04, Width::W8); // ICW3: slave on IRQ2
+        assert!(!p.initialized());
+        p.io_write(1, 0x01, Width::W8); // ICW4: 8086 mode
+        assert!(p.initialized());
+        assert_eq!(p.vector_base, 0x20);
+        assert_eq!(p.cascade, 0x04);
+        assert_eq!(p.icw4, 0x01);
+    }
+
+    #[test]
+    fn single_mode_skips_icw3() {
+        let (mut p, _) = pic();
+        p.io_write(0, 0x13, Width::W8); // init, SNGL=1, IC4=1
+        p.io_write(1, 0x40, Width::W8); // ICW2
+        p.io_write(1, 0x01, Width::W8); // ICW4 (ICW3 skipped)
+        assert!(p.initialized());
+        assert_eq!(p.cascade, 0, "icw3 untouched");
+        assert_eq!(p.icw4, 0x01);
+    }
+
+    #[test]
+    fn no_icw4_when_ic4_clear() {
+        let (mut p, _) = pic();
+        p.io_write(0, 0x12, Width::W8); // init, SNGL=1, IC4=0
+        p.io_write(1, 0x08, Width::W8); // ICW2 completes init
+        assert!(p.initialized());
+        // A further write to port 1 is OCW1 (mask), not ICW4.
+        p.io_write(1, 0xfe, Width::W8);
+        assert_eq!(p.io_read(1, Width::W8), 0xfe);
+        assert_eq!(p.icw4, 0);
+    }
+
+    #[test]
+    fn irq_delivery_and_ack() {
+        let (mut p, line) = pic();
+        p.io_write(0, 0x13, Width::W8);
+        p.io_write(1, 0x20, Width::W8);
+        p.io_write(1, 0x01, Width::W8);
+        p.raise_irq(3);
+        assert!(line.pending());
+        assert_eq!(p.ack(), Some(0x23));
+        assert!(!line.pending());
+        // EOI re-enables delivery.
+        p.raise_irq(3);
+        assert!(!line.pending(), "irq 3 held off while in service");
+        p.io_write(0, 0x20, Width::W8); // EOI
+        assert!(line.pending());
+        assert_eq!(p.ack(), Some(0x23));
+    }
+
+    #[test]
+    fn masked_irq_not_delivered() {
+        let (mut p, line) = pic();
+        p.io_write(0, 0x13, Width::W8);
+        p.io_write(1, 0x20, Width::W8);
+        p.io_write(1, 0x01, Width::W8);
+        p.io_write(1, 0x08, Width::W8); // OCW1: mask IRQ3
+        p.raise_irq(3);
+        assert!(!line.pending());
+        assert_eq!(p.ack(), None);
+        // Unmask delivers it.
+        p.io_write(1, 0x00, Width::W8);
+        assert!(line.pending());
+    }
+
+    #[test]
+    fn priority_order_lowest_number_first() {
+        let (mut p, _) = pic();
+        p.io_write(0, 0x13, Width::W8);
+        p.io_write(1, 0x20, Width::W8);
+        p.io_write(1, 0x01, Width::W8);
+        p.raise_irq(5);
+        p.raise_irq(1);
+        assert_eq!(p.ack(), Some(0x21));
+        p.io_write(0, 0x20, Width::W8);
+        assert_eq!(p.ack(), Some(0x25));
+    }
+}

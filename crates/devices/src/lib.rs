@@ -1,0 +1,34 @@
+//! Behavioural models of the devices the Devil paper specifies.
+//!
+//! Each module implements a register-accurate state machine for one
+//! controller, attached to the [`hwsim`] bus. These are the substitutes
+//! for the paper's physical hardware: they exercise the same
+//! register-level protocols the Devil specifications describe, so both
+//! hand-crafted and Devil-generated drivers run against identical
+//! behaviour.
+//!
+//! | module | device | paper role |
+//! |--------|--------|------------|
+//! | [`busmouse`]  | Logitech bus mouse        | Figures 1–3, Table 1 |
+//! | [`ide`]       | IDE disk + PIIX4 busmaster| Table 2, Table 1     |
+//! | [`ne2000`]    | NE2000 Ethernet           | Table 1, §2.1        |
+//! | [`permedia2`] | 3Dlabs Permedia2 2D engine| Tables 3–4           |
+//! | [`i8237`]     | 8237A DMA controller      | §2.2 serialization   |
+//! | [`i8259`]     | 8259A interrupt controller| §2.2 control flow    |
+//! | [`cs4236b`]   | Crystal CS4236B codec     | §2.2 automata        |
+
+pub mod busmouse;
+pub mod cs4236b;
+pub mod i8237;
+pub mod i8259;
+pub mod ide;
+pub mod ne2000;
+pub mod permedia2;
+
+pub use busmouse::Busmouse;
+pub use cs4236b::Cs4236b;
+pub use i8237::I8237;
+pub use i8259::I8259;
+pub use ide::IdeController;
+pub use ne2000::Ne2000;
+pub use permedia2::Permedia2;

@@ -1,0 +1,432 @@
+//! Behavioural model of the NE2000 (DP8390) Ethernet controller.
+//!
+//! Implements the subset the paper's fragments exercise: the command
+//! register split into `st`/`txp`/`rd`/`page` fields, paged register
+//! banks, remote-DMA transfers through the data port into a 16 KiB
+//! packet ring, transmit capture and receive injection with interrupt
+//! signalling.
+
+use hwsim::{Device, IrqLine, Width};
+
+/// Command-register fields (the paper's Devil fragment).
+pub mod cr {
+    /// Stop.
+    pub const STP: u8 = 0x01;
+    /// Start.
+    pub const STA: u8 = 0x02;
+    /// Transmit packet (trigger).
+    pub const TXP: u8 = 0x04;
+    /// Remote read.
+    pub const RD_READ: u8 = 0x08;
+    /// Remote write.
+    pub const RD_WRITE: u8 = 0x10;
+    /// Abort/complete remote DMA.
+    pub const RD_ABORT: u8 = 0x20;
+}
+
+/// Page-0 register offsets.
+pub mod p0 {
+    /// Command register (all pages).
+    pub const CR: u64 = 0x00;
+    /// Page start (write).
+    pub const PSTART: u64 = 0x01;
+    /// Page stop (write).
+    pub const PSTOP: u64 = 0x02;
+    /// Boundary pointer.
+    pub const BNRY: u64 = 0x03;
+    /// Transmit page start (write) / transmit status (read).
+    pub const TPSR: u64 = 0x04;
+    /// Transmit byte count 0/1.
+    pub const TBCR0: u64 = 0x05;
+    /// Transmit byte count 1.
+    pub const TBCR1: u64 = 0x06;
+    /// Interrupt status.
+    pub const ISR: u64 = 0x07;
+    /// Remote start address 0/1.
+    pub const RSAR0: u64 = 0x08;
+    /// Remote start address 1.
+    pub const RSAR1: u64 = 0x09;
+    /// Remote byte count 0/1.
+    pub const RBCR0: u64 = 0x0a;
+    /// Remote byte count 1.
+    pub const RBCR1: u64 = 0x0b;
+    /// Interrupt mask.
+    pub const IMR: u64 = 0x0f;
+    /// Data port (remote DMA window).
+    pub const DATA: u64 = 0x10;
+}
+
+/// ISR bits.
+pub mod isr {
+    /// Packet received.
+    pub const PRX: u8 = 0x01;
+    /// Packet transmitted.
+    pub const PTX: u8 = 0x02;
+    /// Remote DMA complete.
+    pub const RDC: u8 = 0x40;
+}
+
+/// Size of the on-board packet memory.
+pub const RAM_SIZE: usize = 16 * 1024;
+/// Byte offset of ring page 0 within the adapter address space.
+pub const RAM_BASE: u16 = 0x4000;
+
+/// The simulated NE2000.
+pub struct Ne2000 {
+    ram: Vec<u8>,
+    page: u8,
+    started: bool,
+    pstart: u8,
+    pstop: u8,
+    bnry: u8,
+    curr: u8,
+    tpsr: u8,
+    tbcr: u16,
+    isr: u8,
+    imr: u8,
+    rsar: u16,
+    rbcr: u16,
+    remote_active: bool,
+    mac: [u8; 6],
+    irq: IrqLine,
+    /// Transmitted frames, captured for the harness.
+    pub transmitted: Vec<Vec<u8>>,
+}
+
+impl Ne2000 {
+    /// Creates a stopped controller with the given MAC address.
+    pub fn new(mac: [u8; 6], irq: IrqLine) -> Self {
+        Ne2000 {
+            ram: vec![0; RAM_SIZE],
+            page: 0,
+            started: false,
+            pstart: 0x46,
+            pstop: 0x80,
+            bnry: 0x46,
+            curr: 0x46,
+            tpsr: 0x40,
+            tbcr: 0,
+            isr: 0,
+            imr: 0,
+            rsar: 0,
+            rbcr: 0,
+            remote_active: false,
+            mac,
+            irq,
+            transmitted: Vec::new(),
+        }
+    }
+
+    /// Whether the receiver/transmitter is started.
+    pub fn started(&self) -> bool {
+        self.started
+    }
+
+    /// Current page-select value.
+    pub fn page(&self) -> u8 {
+        self.page
+    }
+
+    fn ram_index(&self, adapter_addr: u16) -> usize {
+        (adapter_addr.wrapping_sub(RAM_BASE) as usize) % RAM_SIZE
+    }
+
+    /// Injects a received frame (harness side): writes the DP8390
+    /// 4-byte header plus payload at CURR and raises PRX.
+    pub fn inject_rx(&mut self, frame: &[u8]) {
+        if !self.started {
+            return;
+        }
+        let total = frame.len() + 4;
+        let pages = total.div_ceil(256) as u8;
+        let start = self.curr;
+        let mut next = start + pages;
+        if next >= self.pstop {
+            next = self.pstart + (next - self.pstop);
+        }
+        // Header: status, next page, byte count lo/hi.
+        let base = (start as u16) << 8;
+        let hdr = [1u8, next, (total & 0xff) as u8, (total >> 8) as u8];
+        for (i, b) in hdr.iter().chain(frame.iter()).enumerate() {
+            let idx = self.ram_index(base + i as u16);
+            self.ram[idx] = *b;
+        }
+        self.curr = next;
+        self.isr |= isr::PRX;
+        if self.imr & isr::PRX != 0 {
+            self.irq.raise();
+        }
+    }
+
+    fn command(&mut self, v: u8) {
+        self.page = (v >> 6) & 0x3;
+        if v & cr::STA != 0 && v & cr::STP == 0 {
+            self.started = true;
+        }
+        if v & cr::STP != 0 {
+            self.started = false;
+        }
+        if v & (cr::RD_READ | cr::RD_WRITE) != 0 && v & cr::RD_ABORT == 0 {
+            self.remote_active = true;
+        }
+        if v & cr::RD_ABORT != 0 {
+            self.remote_active = false;
+        }
+        if v & cr::TXP != 0 {
+            // Transmit: capture tbcr bytes from tpsr page.
+            let base = (self.tpsr as u16) << 8;
+            let mut frame = Vec::with_capacity(self.tbcr as usize);
+            for i in 0..self.tbcr {
+                frame.push(self.ram[self.ram_index(base + i)]);
+            }
+            self.transmitted.push(frame);
+            self.isr |= isr::PTX;
+            if self.imr & isr::PTX != 0 {
+                self.irq.raise();
+            }
+        }
+    }
+
+    fn data_read(&mut self, width: Width) -> u64 {
+        let mut v = 0u64;
+        let n = width.bytes().min(self.rbcr.max(1) as u64);
+        for i in 0..n {
+            let idx = self.ram_index(self.rsar);
+            v |= (self.ram[idx] as u64) << (8 * i);
+            self.rsar = self.rsar.wrapping_add(1);
+            self.rbcr = self.rbcr.saturating_sub(1);
+        }
+        if self.rbcr == 0 && self.remote_active {
+            self.remote_active = false;
+            self.isr |= isr::RDC;
+        }
+        v
+    }
+
+    fn data_write(&mut self, value: u64, width: Width) {
+        for i in 0..width.bytes() {
+            if self.rbcr == 0 {
+                break;
+            }
+            let idx = self.ram_index(self.rsar);
+            self.ram[idx] = (value >> (8 * i)) as u8;
+            self.rsar = self.rsar.wrapping_add(1);
+            self.rbcr -= 1;
+        }
+        if self.rbcr == 0 && self.remote_active {
+            self.remote_active = false;
+            self.isr |= isr::RDC;
+        }
+    }
+}
+
+impl Device for Ne2000 {
+    fn name(&self) -> &str {
+        "ne2000"
+    }
+
+    fn io_read(&mut self, offset: u64, width: Width) -> u64 {
+        if offset == p0::DATA {
+            return self.data_read(width);
+        }
+        match (self.page, offset) {
+            (_, p0::CR) => {
+                let mut v = self.page << 6;
+                if self.started {
+                    v |= cr::STA;
+                } else {
+                    v |= cr::STP;
+                }
+                v as u64
+            }
+            (0, p0::ISR) => self.isr as u64,
+            (0, p0::BNRY) => self.bnry as u64,
+            (0, p0::TPSR) => 0x01, // transmit OK status
+            (1, o) if (1..=6).contains(&o) => self.mac[(o - 1) as usize] as u64,
+            (1, p0::ISR) => self.curr as u64, // page 1 offset 7 = CURR
+            _ => 0,
+        }
+    }
+
+    fn io_write(&mut self, offset: u64, value: u64, width: Width) {
+        if offset == p0::DATA {
+            return self.data_write(value, width);
+        }
+        let v = value as u8;
+        match (self.page, offset) {
+            (_, p0::CR) => self.command(v),
+            (0, p0::PSTART) => self.pstart = v,
+            (0, p0::PSTOP) => self.pstop = v,
+            (0, p0::BNRY) => self.bnry = v,
+            (0, p0::TPSR) => self.tpsr = v,
+            (0, p0::TBCR0) => self.tbcr = (self.tbcr & 0xff00) | v as u16,
+            (0, p0::TBCR1) => self.tbcr = (self.tbcr & 0x00ff) | ((v as u16) << 8),
+            (0, p0::ISR) => {
+                // Write-1-to-clear.
+                self.isr &= !v;
+                if self.isr & self.imr == 0 {
+                    self.irq.clear();
+                }
+            }
+            (0, p0::RSAR0) => self.rsar = (self.rsar & 0xff00) | v as u16,
+            (0, p0::RSAR1) => self.rsar = (self.rsar & 0x00ff) | ((v as u16) << 8),
+            (0, p0::RBCR0) => self.rbcr = (self.rbcr & 0xff00) | v as u16,
+            (0, p0::RBCR1) => self.rbcr = (self.rbcr & 0x00ff) | ((v as u16) << 8),
+            (0, p0::IMR) => self.imr = v,
+            (1, o) if (1..=6).contains(&o) => self.mac[(o - 1) as usize] = v,
+            (1, p0::ISR) => self.curr = v,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nic() -> (Ne2000, IrqLine) {
+        let irq = IrqLine::new();
+        let n = Ne2000::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01], irq.clone());
+        (n, irq)
+    }
+
+    fn start(n: &mut Ne2000) {
+        n.io_write(p0::CR, cr::STA as u64, Width::W8);
+    }
+
+    #[test]
+    fn start_stop_via_command_register() {
+        let (mut n, _) = nic();
+        assert!(!n.started());
+        start(&mut n);
+        assert!(n.started());
+        n.io_write(p0::CR, cr::STP as u64, Width::W8);
+        assert!(!n.started());
+    }
+
+    #[test]
+    fn page_select_exposes_mac() {
+        let (mut n, _) = nic();
+        n.io_write(p0::CR, (1u64 << 6) | cr::STA as u64, Width::W8);
+        assert_eq!(n.page(), 1);
+        assert_eq!(n.io_read(1, Width::W8), 0xde);
+        assert_eq!(n.io_read(6, Width::W8), 0x01);
+    }
+
+    #[test]
+    fn remote_write_then_read_round_trips() {
+        let (mut n, _) = nic();
+        start(&mut n);
+        // Remote write 4 bytes at adapter address 0x4000.
+        n.io_write(p0::RSAR0, 0x00, Width::W8);
+        n.io_write(p0::RSAR1, 0x40, Width::W8);
+        n.io_write(p0::RBCR0, 4, Width::W8);
+        n.io_write(p0::RBCR1, 0, Width::W8);
+        n.io_write(p0::CR, (cr::STA | cr::RD_WRITE) as u64, Width::W8);
+        for b in [1u64, 2, 3, 4] {
+            n.io_write(p0::DATA, b, Width::W8);
+        }
+        assert_ne!(n.io_read(p0::ISR, Width::W8) as u8 & isr::RDC, 0, "RDC set");
+        n.io_write(p0::ISR, isr::RDC as u64, Width::W8);
+        // Remote read back.
+        n.io_write(p0::RSAR0, 0x00, Width::W8);
+        n.io_write(p0::RSAR1, 0x40, Width::W8);
+        n.io_write(p0::RBCR0, 4, Width::W8);
+        n.io_write(p0::RBCR1, 0, Width::W8);
+        n.io_write(p0::CR, (cr::STA | cr::RD_READ) as u64, Width::W8);
+        let got: Vec<u64> = (0..4).map(|_| n.io_read(p0::DATA, Width::W8)).collect();
+        assert_eq!(got, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn word_wide_data_port() {
+        let (mut n, _) = nic();
+        start(&mut n);
+        n.io_write(p0::RSAR0, 0x00, Width::W8);
+        n.io_write(p0::RSAR1, 0x40, Width::W8);
+        n.io_write(p0::RBCR0, 2, Width::W8);
+        n.io_write(p0::RBCR1, 0, Width::W8);
+        n.io_write(p0::CR, (cr::STA | cr::RD_WRITE) as u64, Width::W8);
+        n.io_write(p0::DATA, 0xbbaa, Width::W16);
+        n.io_write(p0::RSAR0, 0x00, Width::W8);
+        n.io_write(p0::RSAR1, 0x40, Width::W8);
+        n.io_write(p0::RBCR0, 2, Width::W8);
+        n.io_write(p0::RBCR1, 0, Width::W8);
+        n.io_write(p0::CR, (cr::STA | cr::RD_READ) as u64, Width::W8);
+        assert_eq!(n.io_read(p0::DATA, Width::W16), 0xbbaa);
+    }
+
+    #[test]
+    fn transmit_captures_frame() {
+        let (mut n, irq) = nic();
+        start(&mut n);
+        n.io_write(p0::IMR, isr::PTX as u64, Width::W8);
+        // Load 3 bytes at the tx page via remote DMA.
+        n.io_write(p0::RSAR0, 0x00, Width::W8);
+        n.io_write(p0::RSAR1, 0x40, Width::W8);
+        n.io_write(p0::RBCR0, 3, Width::W8);
+        n.io_write(p0::RBCR1, 0, Width::W8);
+        n.io_write(p0::CR, (cr::STA | cr::RD_WRITE) as u64, Width::W8);
+        for b in [0xaau64, 0xbb, 0xcc] {
+            n.io_write(p0::DATA, b, Width::W8);
+        }
+        // Point TPSR at 0x40 and transmit 3 bytes.
+        n.io_write(p0::TPSR, 0x40, Width::W8);
+        n.io_write(p0::TBCR0, 3, Width::W8);
+        n.io_write(p0::TBCR1, 0, Width::W8);
+        n.io_write(p0::CR, (cr::STA | cr::TXP) as u64, Width::W8);
+        assert_eq!(n.transmitted.len(), 1);
+        assert_eq!(n.transmitted[0], vec![0xaa, 0xbb, 0xcc]);
+        assert!(irq.pending());
+        // Clearing PTX drops the line.
+        n.io_write(p0::ISR, isr::PTX as u64, Width::W8);
+        assert!(!irq.pending());
+    }
+
+    #[test]
+    fn rx_injection_sets_header_and_irq() {
+        let (mut n, irq) = nic();
+        start(&mut n);
+        n.io_write(p0::IMR, isr::PRX as u64, Width::W8);
+        let frame = vec![9u8; 60];
+        n.inject_rx(&frame);
+        assert!(irq.pending());
+        assert_ne!(n.io_read(p0::ISR, Width::W8) as u8 & isr::PRX, 0);
+        // Read the header via remote DMA at the old CURR page (0x46).
+        n.io_write(p0::RSAR0, 0x00, Width::W8);
+        n.io_write(p0::RSAR1, 0x46, Width::W8);
+        n.io_write(p0::RBCR0, 4, Width::W8);
+        n.io_write(p0::RBCR1, 0, Width::W8);
+        n.io_write(p0::CR, (cr::STA | cr::RD_READ) as u64, Width::W8);
+        let status = n.io_read(p0::DATA, Width::W8);
+        let next = n.io_read(p0::DATA, Width::W8);
+        let len_lo = n.io_read(p0::DATA, Width::W8);
+        let len_hi = n.io_read(p0::DATA, Width::W8);
+        assert_eq!(status, 1);
+        assert_eq!(next, 0x47);
+        assert_eq!(len_lo | (len_hi << 8), 64);
+    }
+
+    #[test]
+    fn rx_ring_wraps_at_pstop() {
+        let (mut n, _) = nic();
+        start(&mut n);
+        // Park CURR one page before PSTOP.
+        n.io_write(p0::CR, (1u64 << 6) | cr::STA as u64, Width::W8); // page 1
+        n.io_write(p0::ISR, 0x7f, Width::W8); // CURR = 0x7f (pstop 0x80)
+        n.io_write(p0::CR, cr::STA as u64, Width::W8); // back to page 0
+        n.inject_rx(&[1u8; 300]); // needs 2 pages -> wraps
+        // CURR wrapped to pstart + 1.
+        n.io_write(p0::CR, (1u64 << 6) | cr::STA as u64, Width::W8);
+        let curr = n.io_read(p0::ISR, Width::W8) as u8;
+        assert_eq!(curr, 0x47);
+    }
+
+    #[test]
+    fn stopped_nic_ignores_rx() {
+        let (mut n, irq) = nic();
+        n.inject_rx(&[1, 2, 3]);
+        assert!(!irq.pending());
+        assert_eq!(n.io_read(p0::ISR, Width::W8), 0);
+    }
+}

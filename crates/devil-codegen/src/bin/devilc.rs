@@ -1,0 +1,87 @@
+//! `devilc` — the Devil specification compiler.
+//!
+//! ```text
+//! devilc check  <spec.dil>            verify the specification
+//! devilc ast    <spec.dil>            dump the parsed AST (canonical form)
+//! devilc emit-c <spec.dil> <prefix>   generate the C stub header
+//! devilc emit-rust <spec.dil>         generate the Rust interface module
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => {
+            eprintln!("usage: devilc <check|ast|emit-c|emit-rust> <spec.dil> [prefix]");
+            return ExitCode::from(2);
+        }
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("devilc: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let sm = devil_syntax::SourceMap::new(path, src.clone());
+    match cmd {
+        "check" => match devil_sema::check_source_with_warnings(&src, &[]) {
+            (Some(model), diags) => {
+                print!("{}", diags.render_all(&sm));
+                println!(
+                    "{}: ok — {} ports, {} registers, {} variables, {} structures",
+                    model.name,
+                    model.ports.len(),
+                    model.registers.len(),
+                    model.variables.len(),
+                    model.structures.len()
+                );
+                ExitCode::SUCCESS
+            }
+            (None, diags) => {
+                eprint!("{}", diags.render_all(&sm));
+                ExitCode::FAILURE
+            }
+        },
+        "ast" => {
+            let (dev, diags) = devil_syntax::parse(&src);
+            eprint!("{}", diags.render_all(&sm));
+            match dev {
+                Some(d) => {
+                    print!("{}", devil_syntax::pretty::print_device(&d));
+                    ExitCode::SUCCESS
+                }
+                None => ExitCode::FAILURE,
+            }
+        }
+        "emit-c" => {
+            let prefix = args.get(2).map(String::as_str).unwrap_or("dev");
+            match devil_codegen::compile_to_c(&src, prefix) {
+                Ok(c) => {
+                    print!("{c}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprint!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "emit-rust" => match devil_codegen::compile_to_rust(&src) {
+            Ok(r) => {
+                print!("{r}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprint!("{e}");
+                ExitCode::FAILURE
+            }
+        },
+        other => {
+            eprintln!("devilc: unknown command `{other}`");
+            ExitCode::from(2)
+        }
+    }
+}

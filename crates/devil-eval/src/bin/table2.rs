@@ -1,0 +1,18 @@
+//! Regenerates Table 2: IDE Linux driver comparative performance.
+
+use devil_eval::table2;
+use drivers::PioMove;
+
+fn main() {
+    let rows = table2::run(PioMove::Loop);
+    print!(
+        "{}",
+        table2::render(&rows, "Table 2: IDE driver comparative performance (using C loops)")
+    );
+    println!();
+    let rows = table2::run(PioMove::Block);
+    print!(
+        "{}",
+        table2::render(&rows, "Table 2 (variant): IDE driver with block-transfer stubs (rep insw)")
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 3: Permedia2 Xfree86 driver, rectangle test.
+
+use devil_eval::table34::{render, run, Primitive};
+
+fn main() {
+    let rows = run(Primitive::Fill);
+    print!(
+        "{}",
+        render(&rows, "Table 3: Permedia2 Xfree86 driver — rectangle fill", "rect/s")
+    );
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 4: Permedia2 Xfree86 driver, screen-copy test.
+
+use devil_eval::table34::{render, run, Primitive};
+
+fn main() {
+    let rows = run(Primitive::Copy);
+    print!(
+        "{}",
+        render(&rows, "Table 4: Permedia2 Xfree86 driver — screen copy", "copies/s")
+    );
+}

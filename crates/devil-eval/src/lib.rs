@@ -1,0 +1,77 @@
+//! Experiment harnesses that regenerate the paper's evaluation.
+//!
+//! One module per table; each binary in `src/bin/` prints the
+//! corresponding rows. Absolute numbers come from the simulated cost
+//! model (`hwsim::CostModel`); the reproduction target is the *shape* —
+//! who wins, by what factor, where the overhead appears.
+
+pub mod table2;
+pub mod table34;
+
+use std::fmt::Write as _;
+
+/// Renders an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let line_len = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+    let _ = writeln!(out, "{}", "=".repeat(line_len));
+    let hdr: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
+        .collect();
+    let _ = writeln!(out, "{}", hdr.join(" | "));
+    let _ = writeln!(out, "{}", "-".repeat(line_len));
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "{}", cells.join(" | "));
+    }
+    out
+}
+
+/// Effective throughput in MB/s given CPU-side simulated time and a
+/// media bandwidth floor: the transfer cannot finish before the medium
+/// delivers the bytes (`hdparm` measures the same bound).
+pub fn effective_throughput_mb_s(bytes: u64, cpu_ns: f64, media_mb_s: f64) -> f64 {
+    let media_ns = bytes as f64 / media_mb_s * 1.0e3; // bytes / (MB/s) in ns
+    hwsim::throughput_mb_s(bytes, cpu_ns.max(media_ns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            "T",
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "20000".into()]],
+        );
+        assert!(t.contains("a | "), "{t}");
+        assert!(t.lines().count() >= 5);
+    }
+
+    #[test]
+    fn media_floor_caps_throughput() {
+        // CPU time negligible: media-bound at 14.25 MB/s.
+        let t = effective_throughput_mb_s(1_000_000, 10.0, 14.25);
+        assert!((t - 14.25).abs() < 0.01, "{t}");
+        // CPU-bound case.
+        let t2 = effective_throughput_mb_s(1_000_000, 1.0e9, 14.25);
+        assert!((t2 - 1.0).abs() < 0.01, "{t2}");
+    }
+}

@@ -1,0 +1,257 @@
+//! Tables 3 and 4: comparative Permedia2 Xfree86 driver performance —
+//! `xbench`-style rectangle-fill and screen-copy rates at four pixel
+//! depths and four command sizes.
+
+use devices::Permedia2;
+use drivers::{Depth, DevilPm2, HandPm2};
+use hwsim::Bus;
+
+/// MMIO base of the simulated chip.
+pub const BASE: u64 = 0xf000_0000;
+/// Screen dimensions.
+pub const SCREEN: (u32, u32) = (1024, 768);
+/// The paper's command sizes (square edges, pixels).
+pub const SIZES: [u32; 4] = [2, 10, 100, 400];
+/// The paper's pixel depths.
+pub const DEPTHS: [Depth; 4] = [Depth::Bpp8, Depth::Bpp16, Depth::Bpp24, Depth::Bpp32];
+
+/// Which primitive a measurement exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Primitive {
+    /// Table 3: `fill rectangle`.
+    Fill,
+    /// Table 4: `screen area copy`.
+    Copy,
+}
+
+/// One measured row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Bits per pixel.
+    pub bpp: u32,
+    /// Square edge in pixels.
+    pub size: u32,
+    /// Standard-driver MMIO ops per primitive (excluding wait reads).
+    pub std_ops: u64,
+    /// Standard-driver rate (operations per second).
+    pub std_rate: f64,
+    /// Standard-driver wait iterations per primitive.
+    pub std_w: f64,
+    /// Devil-driver MMIO ops per primitive.
+    pub devil_ops: u64,
+    /// Devil-driver rate.
+    pub devil_rate: f64,
+    /// Devil-driver wait iterations per primitive.
+    pub devil_w: f64,
+}
+
+impl Row {
+    /// Devil/standard rate ratio in percent.
+    pub fn ratio_pct(&self) -> f64 {
+        self.devil_rate / self.std_rate * 100.0
+    }
+}
+
+fn rig() -> Bus {
+    let mut bus = Bus::default();
+    bus.attach_mem(Box::new(Permedia2::new(SCREEN.0, SCREEN.1)), BASE, 4096);
+    bus
+}
+
+fn reps_for(size: u32) -> u32 {
+    match size {
+        2 => 4000,
+        10 => 2000,
+        100 => 400,
+        _ => 60,
+    }
+}
+
+/// Measures one (depth, size) cell for a driver closure. Returns
+/// `(writes_per_op, rate_per_s, wait_iters_per_op)`.
+fn measure(
+    bus: &mut Bus,
+    reps: u32,
+    mut op: impl FnMut(&mut Bus, u32),
+    waits: impl Fn() -> u64,
+) -> (u64, f64, f64) {
+    // Warm-up to reach FIFO steady state.
+    for i in 0..8 {
+        op(bus, i);
+    }
+    let l0 = bus.ledger();
+    let t0 = bus.now_ns();
+    let w0 = waits();
+    for i in 0..reps {
+        op(bus, i);
+    }
+    let delta = bus.ledger().since(&l0);
+    // Let the engine drain exactly until idle so the last command is
+    // complete (xbench measures completed operations) without padding
+    // the elapsed time.
+    while bus.mem_read(BASE + devices::permedia2::reg::IN_FIFO_SPACE, hwsim::Width::W32)
+        < devices::permedia2::FIFO_DEPTH as u64
+    {
+        bus.idle(500.0);
+    }
+    let rate = hwsim::rate_per_s(reps as u64, bus.now_ns() - t0);
+    let writes_per_op = delta.mem_write / reps as u64;
+    let wait_per_op = (waits() - w0) as f64 / reps as f64;
+    (writes_per_op, rate, wait_per_op)
+}
+
+/// Runs one (depth, size) cell of Table 3 or 4.
+pub fn run_cell(primitive: Primitive, depth: Depth, size: u32) -> Row {
+    let reps = reps_for(size);
+    // Standard driver.
+    let mut bus = rig();
+    let mut hand = HandPm2::new(BASE, depth);
+    hand.set_depth(&mut bus);
+    let hand_cell = std::cell::RefCell::new(hand);
+    let (std_ops, std_rate, std_w) = measure(
+        &mut bus,
+        reps,
+        |bus, i| {
+            let mut h = hand_cell.borrow_mut();
+            match primitive {
+                Primitive::Fill => h.fill_rect(bus, (i * 7) % 400, (i * 13) % 300, size, size, i),
+                Primitive::Copy => {
+                    h.copy_rect(bus, (i * 3) % 200, (i * 5) % 200, (i * 7) % 400, (i * 11) % 300, size, size)
+                }
+            }
+        },
+        || hand_cell.borrow().wait_iterations,
+    );
+    // Devil driver.
+    let mut bus_d = rig();
+    let mut devil = DevilPm2::new(BASE, depth);
+    devil.set_depth(&mut bus_d);
+    let devil_cell = std::cell::RefCell::new(devil);
+    let (devil_ops, devil_rate, devil_w) = measure(
+        &mut bus_d,
+        reps,
+        |bus, i| {
+            let mut d = devil_cell.borrow_mut();
+            match primitive {
+                Primitive::Fill => d.fill_rect(bus, (i * 7) % 400, (i * 13) % 300, size, size, i),
+                Primitive::Copy => {
+                    d.copy_rect(bus, (i * 3) % 200, (i * 5) % 200, (i * 7) % 400, (i * 11) % 300, size, size)
+                }
+            }
+        },
+        || devil_cell.borrow().wait_iterations,
+    );
+    Row {
+        bpp: depth.bits(),
+        size,
+        std_ops,
+        std_rate,
+        std_w,
+        devil_ops,
+        devil_rate,
+        devil_w,
+    }
+}
+
+/// Runs the full 4×4 grid for one primitive.
+pub fn run(primitive: Primitive) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for depth in DEPTHS {
+        for size in SIZES {
+            rows.push(run_cell(primitive, depth, size));
+        }
+    }
+    rows
+}
+
+/// Formats the rows like the paper's Tables 3/4.
+pub fn render(rows: &[Row], title: &str, unit: &str) -> String {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.bpp.to_string(),
+                format!("{}x{}", r.size, r.size),
+                format!("{:.1}(#w) + {}", r.std_w, r.std_ops),
+                format!("{:.0}", r.std_rate),
+                format!("{:.1}(#w) + {}", r.devil_w, r.devil_ops),
+                format!("{:.0}", r.devil_rate),
+                format!("{:.0} %", r.ratio_pct()),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        title,
+        &[
+            "bpp",
+            "Size",
+            "Std I/O ops",
+            &format!("Std {unit}"),
+            "Devil I/O ops",
+            &format!("Devil {unit}"),
+            "Devil/Std",
+        ],
+        &table_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_rect_devil_penalty_is_bounded() {
+        // Paper worst case: 2x2 at 8/16 bpp, 94–97 %.
+        let row = run_cell(Primitive::Fill, Depth::Bpp8, 2);
+        let pct = row.ratio_pct();
+        assert!((90.0..=100.5).contains(&pct), "2x2@8bpp ratio {pct:.1}%");
+        assert_eq!(row.devil_ops - row.std_ops, 2, "+2 writes per primitive");
+    }
+
+    #[test]
+    fn large_rects_reach_parity() {
+        for depth in [Depth::Bpp8, Depth::Bpp32] {
+            let row = run_cell(Primitive::Fill, depth, 400);
+            let pct = row.ratio_pct();
+            assert!(pct > 99.0, "400x400@{}bpp ratio {pct:.1}%", depth.bits());
+        }
+    }
+
+    #[test]
+    fn rates_fall_with_size_and_depth() {
+        let r2 = run_cell(Primitive::Fill, Depth::Bpp8, 2);
+        let r100 = run_cell(Primitive::Fill, Depth::Bpp8, 100);
+        let r400 = run_cell(Primitive::Fill, Depth::Bpp8, 400);
+        assert!(r2.std_rate > r100.std_rate && r100.std_rate > r400.std_rate);
+        let d8 = run_cell(Primitive::Fill, Depth::Bpp8, 100);
+        let d32 = run_cell(Primitive::Fill, Depth::Bpp32, 100);
+        assert!(d8.std_rate > d32.std_rate, "deeper pixels are slower");
+    }
+
+    #[test]
+    fn copies_are_slower_than_fills() {
+        let f = run_cell(Primitive::Fill, Depth::Bpp16, 100);
+        let c = run_cell(Primitive::Copy, Depth::Bpp16, 100);
+        assert!(c.std_rate < f.std_rate);
+    }
+
+    #[test]
+    fn wait_iterations_grow_on_big_commands() {
+        let small = run_cell(Primitive::Fill, Depth::Bpp32, 2);
+        let big = run_cell(Primitive::Fill, Depth::Bpp32, 400);
+        assert!(big.std_w > small.std_w, "{} !> {}", big.std_w, small.std_w);
+    }
+
+    #[test]
+    fn twentyfour_bit_path_has_equal_ops() {
+        let row = run_cell(Primitive::Fill, Depth::Bpp24, 10);
+        // The 24-bit paths of both drivers program the same number of
+        // registers (the paper's equal 24-bit op counts).
+        assert!(
+            row.devil_ops.abs_diff(row.std_ops) <= 2,
+            "24bpp ops: std {} devil {}",
+            row.std_ops,
+            row.devil_ops
+        );
+    }
+}

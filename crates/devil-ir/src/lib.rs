@@ -1,0 +1,581 @@
+//! Lowering of checked Devil specifications to access plans.
+//!
+//! The IR sits between the semantic model and the two back ends (the
+//! `devil-runtime` interpreter and the `devil-codegen` stub emitters).
+//! It precomputes everything an access needs:
+//!
+//! * per-register **write composition**: forced-bit masks and the bit
+//!   segments each variable owns,
+//! * per-variable **segment maps** (register bits ↔ variable bits,
+//!   across concatenations),
+//! * **access orders** honouring `serialized as` plans (with their
+//!   conditional steps) and the default chunk/field orders,
+//! * **cache layout**: one slot per register (plus per-instance slots
+//!   for register families) and one cell per private memory variable.
+
+use devil_sema::model::{
+    Action, Behavior, CheckedDevice, ChunkArg, FamilyParam, Neutral, Offset, PortBinding, RegId,
+    SerStep, StructId, TypeSem, VarId,
+};
+
+/// The lowered device: everything indexed and precomputed.
+#[derive(Clone, Debug)]
+pub struct DeviceIr {
+    /// Device name.
+    pub name: String,
+    /// Port descriptors, indexed by the model's `PortId`.
+    pub ports: Vec<PortIr>,
+    /// Registers, indexed by the model's `RegId`.
+    pub regs: Vec<RegIr>,
+    /// Variables, indexed by the model's `VarId`.
+    pub vars: Vec<VarIr>,
+    /// Structures, indexed by the model's `StructId`.
+    pub structs: Vec<StructIr>,
+    /// Number of memory cells (private unmapped variables).
+    pub mem_cells: usize,
+}
+
+/// A port descriptor.
+#[derive(Clone, Debug)]
+pub struct PortIr {
+    /// Port name (parameter name in the spec).
+    pub name: String,
+    /// Access width in bits.
+    pub width: u32,
+}
+
+/// One bit segment tying a register to a variable.
+///
+/// Register bits `reg_lo..=reg_hi` correspond to variable bits starting
+/// at `var_lo` (inclusive, same length, same order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FieldSeg {
+    /// The owning variable.
+    pub var: VarId,
+    /// Most significant register bit of the segment.
+    pub reg_hi: u32,
+    /// Least significant register bit of the segment.
+    pub reg_lo: u32,
+    /// Variable bit corresponding to `reg_lo`.
+    pub var_lo: u32,
+}
+
+impl FieldSeg {
+    /// Number of bits in the segment.
+    pub fn width(&self) -> u32 {
+        self.reg_hi - self.reg_lo + 1
+    }
+
+    /// Extracts this segment from a raw register value, positioned at
+    /// the variable's bit offsets.
+    pub fn extract(&self, reg_raw: u64) -> u64 {
+        let w = self.width();
+        let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+        ((reg_raw >> self.reg_lo) & mask) << self.var_lo
+    }
+
+    /// Positions variable bits into register bit positions.
+    pub fn insert(&self, var_val: u64) -> u64 {
+        let w = self.width();
+        let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+        ((var_val >> self.var_lo) & mask) << self.reg_lo
+    }
+
+    /// The register-bit mask covered by this segment.
+    pub fn reg_mask(&self) -> u64 {
+        let w = self.width();
+        let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+        mask << self.reg_lo
+    }
+}
+
+/// A lowered register.
+#[derive(Clone, Debug)]
+pub struct RegIr {
+    /// Register name.
+    pub name: String,
+    /// Size in bits (== the bound port's access width).
+    pub size: u32,
+    /// Read binding (port index + offset), if readable.
+    pub read: Option<PortBinding>,
+    /// Write binding, if writable.
+    pub write: Option<PortBinding>,
+    /// OR-mask applied on writes (forced-1 bits).
+    pub or_mask: u64,
+    /// AND-mask applied on writes (clears forced-0 bits).
+    pub and_mask: u64,
+    /// Family parameters (empty for concrete registers).
+    pub params: Vec<FamilyParam>,
+    /// Pre-access actions.
+    pub pre: Vec<Action>,
+    /// Post-access actions.
+    pub post: Vec<Action>,
+    /// Private-state updates on access.
+    pub set: Vec<Action>,
+    /// Every variable segment laid over this register.
+    pub fields: Vec<FieldSeg>,
+    /// Whether any variable on this register is volatile (the register's
+    /// cached value may go stale on its own).
+    pub volatile: bool,
+}
+
+/// A lowered variable.
+#[derive(Clone, Debug)]
+pub struct VarIr {
+    /// Variable name.
+    pub name: String,
+    /// Hidden from the functional interface.
+    pub private: bool,
+    /// Bit width.
+    pub width: u32,
+    /// The variable's type.
+    pub ty: TypeSem,
+    /// Behaviour flags.
+    pub behavior: Behavior,
+    /// Trigger neutral value.
+    pub neutral: Option<Neutral>,
+    /// Family parameters (variable arrays).
+    pub params: Vec<FamilyParam>,
+    /// Register segments backing the variable, with the family arguments
+    /// used for each segment's register.
+    pub segs: Vec<VarSeg>,
+    /// Register access order for reads.
+    pub read_order: Vec<SerStep>,
+    /// Register access order for writes.
+    pub write_order: Vec<SerStep>,
+    /// Private-state updates when the variable is written.
+    pub set: Vec<Action>,
+    /// Cell index for unmapped private memory variables.
+    pub mem_cell: Option<usize>,
+    /// Parent structure for fields.
+    pub parent: Option<StructId>,
+    /// Whether the variable is readable.
+    pub readable: bool,
+    /// Whether the variable is writable.
+    pub writable: bool,
+}
+
+impl RegIr {
+    /// Whether the register can be read.
+    pub fn readable(&self) -> bool {
+        self.read.is_some()
+    }
+
+    /// Whether the register can be written.
+    pub fn writable(&self) -> bool {
+        self.write.is_some()
+    }
+}
+
+/// One register segment of a variable, with family arguments.
+#[derive(Clone, Debug)]
+pub struct VarSeg {
+    /// The backing register.
+    pub reg: RegId,
+    /// Family arguments used to address the register.
+    pub args: Vec<ChunkArg>,
+    /// The bit correspondence.
+    pub seg: FieldSeg,
+}
+
+/// A lowered structure.
+#[derive(Clone, Debug)]
+pub struct StructIr {
+    /// Structure name.
+    pub name: String,
+    /// Member variables.
+    pub fields: Vec<VarId>,
+    /// Register access order for a structure read.
+    pub read_order: Vec<SerStep>,
+    /// Register access order for a structure write.
+    pub write_order: Vec<SerStep>,
+}
+
+/// Lowers a checked device to IR.
+pub fn lower(model: &CheckedDevice) -> DeviceIr {
+    let ports = model
+        .ports
+        .iter()
+        .map(|p| PortIr { name: p.name.clone(), width: p.width })
+        .collect();
+
+    // Registers: masks and (initially empty) field lists.
+    let mut regs: Vec<RegIr> = model
+        .registers
+        .iter()
+        .map(|r| {
+            let (or_mask, and_mask) = r.forced_masks();
+            RegIr {
+                name: r.name.clone(),
+                size: r.size,
+                read: r.read.clone(),
+                write: r.write.clone(),
+                or_mask,
+                and_mask,
+                params: r.params.clone(),
+                pre: r.pre.clone(),
+                post: r.post.clone(),
+                set: r.set.clone(),
+                fields: Vec::new(),
+                volatile: false,
+            }
+        })
+        .collect();
+
+    // Variables: segment maps; fill register field lists as we go.
+    let mut mem_cells = 0usize;
+    let mut vars: Vec<VarIr> = Vec::with_capacity(model.variables.len());
+    for (vi, v) in model.variables.iter().enumerate() {
+        let vid = VarId(vi as u32);
+        let width = v.width();
+        let mut segs: Vec<VarSeg> = Vec::new();
+        if let Some(chunks) = &v.bits {
+            // Walk chunks MSB-first; var bit positions count down.
+            let mut next_hi = width as i64 - 1;
+            for chunk in chunks {
+                for &(hi, lo) in &chunk.ranges {
+                    let w = (hi - lo + 1) as i64;
+                    let var_lo = (next_hi - w + 1) as u32;
+                    let seg = FieldSeg { var: vid, reg_hi: hi, reg_lo: lo, var_lo };
+                    regs[chunk.reg.0 as usize].fields.push(seg);
+                    if v.behavior.volatile {
+                        regs[chunk.reg.0 as usize].volatile = true;
+                    }
+                    segs.push(VarSeg { reg: chunk.reg, args: chunk.args.clone(), seg });
+                    next_hi -= w;
+                }
+            }
+            debug_assert_eq!(next_hi, -1, "segment walk must cover the variable exactly");
+        }
+        let mem_cell = if v.bits.is_none() {
+            let c = mem_cells;
+            mem_cells += 1;
+            Some(c)
+        } else {
+            None
+        };
+        // Access orders: explicit plan or default (distinct registers in
+        // chunk order — MSB first for reads *and* writes; the paper's
+        // 8237 example overrides reads with `serialized as`).
+        let default_order: Vec<SerStep> = {
+            let mut seen: Vec<RegId> = Vec::new();
+            for s in &segs {
+                if !seen.contains(&s.reg) {
+                    seen.push(s.reg);
+                }
+            }
+            seen.into_iter().map(SerStep::Reg).collect()
+        };
+        let (read_order, write_order) = match &v.serialized {
+            Some(plan) => (plan.steps.clone(), plan.steps.clone()),
+            None => (default_order.clone(), default_order),
+        };
+        let readable = v
+            .bits
+            .as_ref()
+            .map(|cs| cs.iter().all(|c| model.reg(c.reg).readable()))
+            .unwrap_or(true);
+        let writable = v
+            .bits
+            .as_ref()
+            .map(|cs| cs.iter().all(|c| model.reg(c.reg).writable()))
+            .unwrap_or(true);
+        vars.push(VarIr {
+            name: v.name.clone(),
+            private: v.private,
+            width,
+            ty: v.ty.clone(),
+            behavior: v.behavior,
+            neutral: v.neutral,
+            params: v.params.clone(),
+            segs,
+            read_order,
+            write_order,
+            set: v.set.clone(),
+            mem_cell,
+            parent: v.parent,
+            readable,
+            writable,
+        });
+    }
+
+    // Structures: default order = registers of fields in field order.
+    let structs = model
+        .structures
+        .iter()
+        .map(|s| {
+            let default_order: Vec<SerStep> = {
+                let mut seen: Vec<RegId> = Vec::new();
+                for &fid in &s.fields {
+                    for seg in &vars[fid.0 as usize].segs {
+                        if !seen.contains(&seg.reg) {
+                            seen.push(seg.reg);
+                        }
+                    }
+                }
+                seen.into_iter().map(SerStep::Reg).collect()
+            };
+            let (read_order, write_order) = match &s.serialized {
+                Some(plan) => (plan.steps.clone(), plan.steps.clone()),
+                None => (default_order.clone(), default_order),
+            };
+            StructIr {
+                name: s.name.clone(),
+                fields: s.fields.clone(),
+                read_order,
+                write_order,
+            }
+        })
+        .collect();
+
+    DeviceIr {
+        name: model.name.clone(),
+        ports,
+        regs,
+        vars,
+        structs,
+        mem_cells,
+    }
+}
+
+impl DeviceIr {
+    /// Looks a variable up by name.
+    pub fn var_id(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
+    }
+
+    /// Looks a structure up by name.
+    pub fn struct_id(&self, name: &str) -> Option<StructId> {
+        self.structs
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| StructId(i as u32))
+    }
+
+    /// Looks a register up by name.
+    pub fn reg_id(&self, name: &str) -> Option<RegId> {
+        self.regs
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| RegId(i as u32))
+    }
+
+    /// The variable for an id.
+    pub fn var(&self, id: VarId) -> &VarIr {
+        &self.vars[id.0 as usize]
+    }
+
+    /// The register for an id.
+    pub fn reg(&self, id: RegId) -> &RegIr {
+        &self.regs[id.0 as usize]
+    }
+
+    /// The structure for an id.
+    pub fn strct(&self, id: StructId) -> &StructIr {
+        &self.structs[id.0 as usize]
+    }
+
+    /// Resolves a register binding's offset for concrete family args.
+    pub fn resolve_offset(&self, binding: &PortBinding, args: &[u64]) -> u64 {
+        match binding.offset {
+            Offset::Const(c) => c,
+            Offset::Param(i) => args[i],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ir_for(src: &str) -> DeviceIr {
+        let model = devil_sema::check_source(src, &[]).expect("spec must check");
+        lower(&model)
+    }
+
+    const BUSMOUSE: &str = r#"
+device logitech_busmouse (base : bit[8] port @ {0..3}) {
+  register sig_reg = base @ 1 : bit[8];
+  variable signature = sig_reg, volatile, write trigger : int(8);
+  register cr = write base @ 3, mask '1001000*' : bit[8];
+  variable config = cr[0] : { CONFIGURATION => '1', DEFAULT_MODE => '0' };
+  register interrupt_reg = write base @ 2, mask '000*0000' : bit[8];
+  variable interrupt = interrupt_reg[4] : { ENABLE => '0', DISABLE => '1' };
+  register index_reg = write base @ 2, mask '1**00000' : bit[8];
+  private variable index = index_reg[6..5] : int(2);
+  register x_low  = read base @ 0, pre {index = 0}, mask '....****' : bit[8];
+  register x_high = read base @ 0, pre {index = 1}, mask '....****' : bit[8];
+  register y_low  = read base @ 0, pre {index = 2}, mask '....****' : bit[8];
+  register y_high = read base @ 0, pre {index = 3}, mask '***.****' : bit[8];
+  structure mouse_state = {
+    variable dx = x_high[3..0] # x_low[3..0], volatile : signed int(8);
+    variable dy = y_high[3..0] # y_low[3..0], volatile : signed int(8);
+    variable buttons = y_high[7..5], volatile : int(3);
+  };
+}
+"#;
+
+    #[test]
+    fn busmouse_segments() {
+        let ir = ir_for(BUSMOUSE);
+        let dx = ir.var(ir.var_id("dx").unwrap());
+        assert_eq!(dx.width, 8);
+        assert_eq!(dx.segs.len(), 2);
+        // x_high[3..0] is the high nibble of dx.
+        let hi = &dx.segs[0];
+        assert_eq!(ir.reg(hi.reg).name, "x_high");
+        assert_eq!((hi.seg.reg_hi, hi.seg.reg_lo, hi.seg.var_lo), (3, 0, 4));
+        let lo = &dx.segs[1];
+        assert_eq!(ir.reg(lo.reg).name, "x_low");
+        assert_eq!((lo.seg.reg_hi, lo.seg.reg_lo, lo.seg.var_lo), (3, 0, 0));
+    }
+
+    #[test]
+    fn busmouse_shared_register_fields() {
+        let ir = ir_for(BUSMOUSE);
+        // y_high carries dy's high nibble and buttons.
+        let y_high = ir.reg(ir.reg_id("y_high").unwrap());
+        assert_eq!(y_high.fields.len(), 2);
+        assert!(y_high.volatile);
+        let buttons_id = ir.var_id("buttons").unwrap();
+        let btn_seg = y_high.fields.iter().find(|f| f.var == buttons_id).unwrap();
+        assert_eq!((btn_seg.reg_hi, btn_seg.reg_lo, btn_seg.var_lo), (7, 5, 0));
+    }
+
+    #[test]
+    fn busmouse_structure_read_order_dedups_registers() {
+        let ir = ir_for(BUSMOUSE);
+        let st = ir.strct(ir.struct_id("mouse_state").unwrap());
+        // x_high, x_low, y_high, y_low — four distinct registers even
+        // though dy and buttons share y_high.
+        assert_eq!(st.read_order.len(), 4);
+        let names: Vec<&str> = st
+            .read_order
+            .iter()
+            .map(|s| match s {
+                SerStep::Reg(r) => ir.reg(*r).name.as_str(),
+                _ => panic!("unexpected conditional"),
+            })
+            .collect();
+        assert_eq!(names, ["x_high", "x_low", "y_high", "y_low"]);
+    }
+
+    #[test]
+    fn forced_masks_lowered() {
+        let ir = ir_for(BUSMOUSE);
+        let cr = ir.reg(ir.reg_id("cr").unwrap());
+        assert_eq!(cr.or_mask, 0b1001_0000);
+        assert_eq!(cr.and_mask, 0b1001_0001);
+        let idx = ir.reg(ir.reg_id("index_reg").unwrap());
+        assert_eq!(idx.or_mask, 0b1000_0000);
+        assert_eq!(idx.and_mask, 0b1110_0000);
+    }
+
+    #[test]
+    fn field_seg_extract_insert_inverse() {
+        let seg = FieldSeg { var: VarId(0), reg_hi: 6, reg_lo: 5, var_lo: 0 };
+        assert_eq!(seg.width(), 2);
+        assert_eq!(seg.reg_mask(), 0b0110_0000);
+        let reg_raw = 0b0100_0000u64;
+        assert_eq!(seg.extract(reg_raw), 0b10);
+        assert_eq!(seg.insert(0b10), 0b0100_0000);
+        // extract ∘ insert = identity on in-range values.
+        for v in 0..4u64 {
+            assert_eq!(seg.extract(seg.insert(v)), v);
+        }
+    }
+
+    #[test]
+    fn serialized_variable_order_respected() {
+        let ir = ir_for(
+            r#"device d (data : bit[8] port @ {0..0}, ctl : bit[8] port @ {1..1}) {
+                 register ff = write ctl @ 1, mask '0000000*' : bit[8];
+                 private variable flip_flop = ff[0] : bool;
+                 register cnt_low = data @ 0, pre {flip_flop = *} : bit[8];
+                 register cnt_high = data @ 0 : bit[8];
+                 variable x = cnt_high # cnt_low : int(16) serialized as {cnt_low; cnt_high;};
+               }"#,
+        );
+        let x = ir.var(ir.var_id("x").unwrap());
+        let names: Vec<&str> = x
+            .read_order
+            .iter()
+            .map(|s| match s {
+                SerStep::Reg(r) => ir.reg(*r).name.as_str(),
+                _ => panic!(),
+            })
+            .collect();
+        // Default order would be cnt_high (MSB) first; the plan says
+        // cnt_low first.
+        assert_eq!(names, ["cnt_low", "cnt_high"]);
+        // Segment map still places cnt_high at the top byte.
+        assert_eq!(x.segs[0].seg.var_lo, 8);
+        assert_eq!(x.segs[1].seg.var_lo, 0);
+    }
+
+    #[test]
+    fn memory_variables_get_cells() {
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..0}) {
+                 private variable xm : bool;
+                 register control = base @ 0, set {xm = false} : bit[8];
+                 variable IA = control : int{0..31};
+               }"#,
+        );
+        assert_eq!(ir.mem_cells, 1);
+        let xm = ir.var(ir.var_id("xm").unwrap());
+        assert_eq!(xm.mem_cell, Some(0));
+        assert!(xm.readable && xm.writable);
+        let ia = ir.var(ir.var_id("IA").unwrap());
+        assert_eq!(ia.mem_cell, None);
+    }
+
+    #[test]
+    fn directions_lowered() {
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..1}) {
+                 register ro = read base @ 0 : bit[8];
+                 register wo = write base @ 1 : bit[8];
+                 variable vr = ro, volatile : int(8);
+                 variable vw = wo : int(8);
+               }"#,
+        );
+        let vr = ir.var(ir.var_id("vr").unwrap());
+        assert!(vr.readable && !vr.writable);
+        let vw = ir.var(ir.var_id("vw").unwrap());
+        assert!(!vw.readable && vw.writable);
+    }
+
+    #[test]
+    fn multi_range_atom_orders_msb_first() {
+        // XA = r[2,7..4]: bit 2 is the variable's MSB (bit 4), then
+        // bits 7..4 follow.
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..0}) {
+                 register r = base @ 0, mask '****.*.*' : bit[8];
+                 variable XA = r[2,7..4] : int(5);
+                 variable other = r[0] : bool;
+               }"#,
+        );
+        let xa = ir.var(ir.var_id("XA").unwrap());
+        assert_eq!(xa.segs.len(), 2);
+        assert_eq!((xa.segs[0].seg.reg_hi, xa.segs[0].seg.reg_lo, xa.segs[0].seg.var_lo), (2, 2, 4));
+        assert_eq!((xa.segs[1].seg.reg_hi, xa.segs[1].seg.reg_lo, xa.segs[1].seg.var_lo), (7, 4, 0));
+    }
+
+    #[test]
+    fn family_offsets_resolve() {
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..3}) {
+                 register r(i : int{0..3}) = base @ i : bit[8];
+                 variable v(i : int{0..3}) = r(i), volatile : int(8);
+               }"#,
+        );
+        let r = ir.reg(ir.reg_id("r").unwrap());
+        let binding = r.read.as_ref().unwrap();
+        assert_eq!(ir.resolve_offset(binding, &[2]), 2);
+    }
+}

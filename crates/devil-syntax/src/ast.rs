@@ -1,0 +1,803 @@
+//! Abstract syntax tree for Devil specifications.
+//!
+//! The tree mirrors the concrete syntax closely (every node carries its
+//! [`Span`]); all semantic interpretation — layout, typing, direction —
+//! happens in `devil-sema`. Nodes are plain data so tests and the
+//! mutation harness can construct or rewrite them freely.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An identifier with its source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ident {
+    /// The identifier text.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier (mostly for tests and synthesized nodes).
+    pub fn new(name: impl Into<String>, span: Span) -> Self {
+        Ident { name: name.into(), span }
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// A complete Devil specification: one device declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Device {
+    /// Device name, e.g. `logitech_busmouse`.
+    pub name: Ident,
+    /// Formal parameters (ports and integer mode parameters).
+    pub params: Vec<Param>,
+    /// Body declarations, in source order.
+    pub decls: Vec<Decl>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A formal device parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Param {
+    /// Parameter name, e.g. `base`.
+    pub name: Ident,
+    /// What kind of parameter this is.
+    pub kind: ParamKind,
+    /// Span of the whole parameter.
+    pub span: Span,
+}
+
+/// The kind of a device parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParamKind {
+    /// A ranged port: `base : bit[8] port @ {0..3}`.
+    Port {
+        /// Access width in bits (`bit[8]`).
+        width: u32,
+        /// Valid constant offsets (`{0..3}`).
+        range: IntSet,
+    },
+    /// A constant configuration parameter: `mode : int(2)`. Used by
+    /// conditional declarations (device modes).
+    Int {
+        /// The parameter's integer type.
+        ty: Type,
+    },
+}
+
+/// A top-level declaration inside a device body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Decl {
+    /// `register ... ;`
+    Register(RegisterDecl),
+    /// `variable ... ;` / `private variable ... ;`
+    Variable(VariableDecl),
+    /// `structure name = { ... } serialized as { ... };`
+    Structure(StructureDecl),
+    /// `type name = { A => '1', ... };`
+    TypeDef(TypeDef),
+    /// `if (mode == 1) { ... } else { ... }` — conditional declarations
+    /// keyed on constant device parameters.
+    Cond(CondDecl),
+}
+
+impl Decl {
+    /// The span of the declaration.
+    pub fn span(&self) -> Span {
+        match self {
+            Decl::Register(r) => r.span,
+            Decl::Variable(v) => v.span,
+            Decl::Structure(s) => s.span,
+            Decl::TypeDef(t) => t.span,
+            Decl::Cond(c) => c.span,
+        }
+    }
+}
+
+/// Read/write direction keyword.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// `read`
+    Read,
+    /// `write`
+    Write,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Read => write!(f, "read"),
+            Mode::Write => write!(f, "write"),
+        }
+    }
+}
+
+/// A register declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegisterDecl {
+    /// Register name.
+    pub name: Ident,
+    /// Formal parameters when declaring a register family, e.g.
+    /// `register I(i : int{0..31}) = ...`.
+    pub params: Vec<RegParam>,
+    /// Where the register lives (port binding or family instantiation).
+    pub spec: RegSpec,
+    /// Attributes: masks and pre/post/set action blocks.
+    pub attrs: Vec<RegAttr>,
+    /// Declared size `bit[n]`. Optional for family instantiations,
+    /// which inherit the family's size.
+    pub size: Option<(u32, Span)>,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// A formal parameter of a register (or variable) family.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegParam {
+    /// Parameter name, e.g. `i`.
+    pub name: Ident,
+    /// Its integer type (typically a value set `int{0..31}`).
+    pub ty: Type,
+    /// Span of the parameter.
+    pub span: Span,
+}
+
+/// The location part of a register declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegSpec {
+    /// A single-port binding, optionally restricted to one direction:
+    /// `base @ 1`, `read base @ 0`, `write base @ 3`.
+    Port {
+        /// Direction restriction; `None` means read-write.
+        mode: Option<Mode>,
+        /// The bound port.
+        port: PortExpr,
+    },
+    /// A dual-port binding: `read base @ 0 write base @ 1` — the paper's
+    /// "registers are typically defined using two ports".
+    Ports {
+        /// Port used for reads.
+        read: PortExpr,
+        /// Port used for writes.
+        write: PortExpr,
+    },
+    /// Instantiation of a register family: `I(23)`.
+    Instance {
+        /// Family name.
+        family: Ident,
+        /// Actual arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// A port expression `base @ 3` (offset optional: plain `data`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortExpr {
+    /// The port parameter being offset.
+    pub base: Ident,
+    /// The constant offset, if any.
+    pub offset: Option<OffsetExpr>,
+    /// Span of the expression.
+    pub span: Span,
+}
+
+/// A constant offset in a port expression. Either a literal or a
+/// reference to a register-family parameter (`base @ i`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OffsetExpr {
+    /// Literal offset.
+    Int(u64, Span),
+    /// Family-parameter offset.
+    Param(Ident),
+}
+
+impl OffsetExpr {
+    /// Span of the offset expression.
+    pub fn span(&self) -> Span {
+        match self {
+            OffsetExpr::Int(_, s) => *s,
+            OffsetExpr::Param(i) => i.span,
+        }
+    }
+}
+
+/// An attribute attached to a register.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegAttr {
+    /// `mask '1001000.'`
+    Mask(BitMask),
+    /// `pre { ... }` — actions performed before each access.
+    Pre(ActionBlock),
+    /// `post { ... }` — actions performed after each access.
+    Post(ActionBlock),
+    /// `set { ... }` — updates to private memory variables performed
+    /// when the register is accessed (automata-based addressing).
+    Set(ActionBlock),
+}
+
+/// One symbol of a register mask.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaskBit {
+    /// `*`: the bit is relevant (usable by variables).
+    Relevant,
+    /// `0`: irrelevant when read, forced to 0 when written.
+    Forced0,
+    /// `1`: irrelevant when read, forced to 1 when written.
+    Forced1,
+    /// `.` (or `-`): irrelevant both ways.
+    Irrelevant,
+}
+
+impl MaskBit {
+    /// The source character for this mask bit.
+    pub fn to_char(self) -> char {
+        match self {
+            MaskBit::Relevant => '*',
+            MaskBit::Forced0 => '0',
+            MaskBit::Forced1 => '1',
+            MaskBit::Irrelevant => '.',
+        }
+    }
+
+    /// Parses a mask character (`-` is an alias for `.`).
+    pub fn from_char(c: char) -> Option<MaskBit> {
+        Some(match c {
+            '*' => MaskBit::Relevant,
+            '0' => MaskBit::Forced0,
+            '1' => MaskBit::Forced1,
+            '.' | '-' => MaskBit::Irrelevant,
+            _ => return None,
+        })
+    }
+}
+
+/// A register mask literal. `bits[0]` is the **most significant** bit,
+/// matching the left-to-right source order of `'1..00000'`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitMask {
+    /// Mask symbols, MSB first.
+    pub bits: Vec<MaskBit>,
+    /// Span of the literal.
+    pub span: Span,
+}
+
+impl BitMask {
+    /// Number of bits in the mask.
+    pub fn width(&self) -> u32 {
+        self.bits.len() as u32
+    }
+
+    /// The mask symbol for bit index `i` (LSB = 0).
+    pub fn bit(&self, i: u32) -> MaskBit {
+        self.bits[self.bits.len() - 1 - i as usize]
+    }
+}
+
+/// A `{ stmt; stmt }` action block (pre/post/set).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActionBlock {
+    /// The statements, in execution order.
+    pub stmts: Vec<ActionStmt>,
+    /// Span of the block.
+    pub span: Span,
+}
+
+/// A single `target = value` action statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActionStmt {
+    /// The variable (or structure) being assigned.
+    pub target: Ident,
+    /// The assigned value.
+    pub value: ActionValue,
+    /// Span of the statement.
+    pub span: Span,
+}
+
+/// The right-hand side of an action statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ActionValue {
+    /// A literal integer.
+    Int(u64, Span),
+    /// `*`: any value (used to strobe, e.g. the 8237 flip-flop reset).
+    Any(Span),
+    /// `true` / `false`.
+    Bool(bool, Span),
+    /// An identifier: enum symbol, family parameter, or variable.
+    Sym(Ident),
+    /// A structure value: `{XA => j; XRAE => true}`.
+    Struct(Vec<(Ident, ActionValue)>, Span),
+}
+
+impl ActionValue {
+    /// Span of the value.
+    pub fn span(&self) -> Span {
+        match self {
+            ActionValue::Int(_, s) | ActionValue::Any(s) | ActionValue::Bool(_, s) => *s,
+            ActionValue::Sym(i) => i.span,
+            ActionValue::Struct(_, s) => *s,
+        }
+    }
+}
+
+/// A device-variable declaration (top level or structure field).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VariableDecl {
+    /// Whether the variable is `private` (hidden from the functional
+    /// interface; may be an unmapped memory cell).
+    pub private: bool,
+    /// Variable name.
+    pub name: Ident,
+    /// Formal parameters for variable families (arrays).
+    pub params: Vec<RegParam>,
+    /// The register bits backing the variable; `None` for unmapped
+    /// private memory variables (`private variable xm : bool;`).
+    pub bits: Option<BitExpr>,
+    /// Behaviour attributes (volatile, trigger, block, set).
+    pub attrs: Vec<VarAttr>,
+    /// The declared type. Syntactically optional (paper fragments omit
+    /// it); the checker requires it.
+    pub ty: Option<Type>,
+    /// Per-variable serialization order (the 8237 counter case).
+    pub serialized: Option<SerBlock>,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// A concatenation of register bit-fragments: `x_high[3..0] # x_low[3..0]`.
+/// `atoms[0]` holds the **most significant** fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitExpr {
+    /// The fragments, most significant first.
+    pub atoms: Vec<BitAtom>,
+    /// Span of the expression.
+    pub span: Span,
+}
+
+/// One register fragment in a bit expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitAtom {
+    /// The register (or register-family) name.
+    pub reg: Ident,
+    /// Arguments when referencing a register family: `cnt(i)`.
+    pub args: Vec<Expr>,
+    /// Selected bit ranges, MSB-side first as written: `[2,7..4]`.
+    /// Empty means the whole register.
+    pub ranges: Vec<BitRange>,
+    /// Span of the atom.
+    pub span: Span,
+}
+
+/// An inclusive bit range `hi..lo`, or a single bit when `hi == lo`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitRange {
+    /// Most significant selected bit.
+    pub hi: u32,
+    /// Least significant selected bit.
+    pub lo: u32,
+    /// Span of the range.
+    pub span: Span,
+}
+
+impl BitRange {
+    /// Number of bits selected.
+    pub fn width(&self) -> u32 {
+        self.hi - self.lo + 1
+    }
+}
+
+/// A behaviour attribute on a variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VarAttr {
+    /// `volatile`: reads are not idempotent.
+    Volatile(Span),
+    /// `block`: generate block-transfer stubs.
+    Block(Span),
+    /// `trigger` / `read trigger` / `write trigger`, with an optional
+    /// neutral-value exception.
+    Trigger {
+        /// Direction the trigger applies to; `None` = both.
+        mode: Option<Mode>,
+        /// Exception clause.
+        exception: Option<TriggerException>,
+        /// Span of the attribute.
+        span: Span,
+    },
+    /// `set { ... }` — updates private memory variables when this
+    /// variable is written.
+    Set(ActionBlock),
+}
+
+/// The exception clause of a trigger attribute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TriggerException {
+    /// `except NEUTRAL` — the named value does not trigger.
+    Except(Ident),
+    /// `for true` — the trigger only fires for the given value.
+    For(ConstValue),
+}
+
+/// A structure declaration grouping variables for consistent access.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructureDecl {
+    /// Structure name.
+    pub name: Ident,
+    /// Field variables.
+    pub fields: Vec<VariableDecl>,
+    /// Optional register write/read ordering.
+    pub serialized: Option<SerBlock>,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// A `serialized as { ... }` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SerBlock {
+    /// Ordered serialization items.
+    pub items: Vec<SerItem>,
+    /// Span of the block.
+    pub span: Span,
+}
+
+/// One item of a serialization order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SerItem {
+    /// Access this register next.
+    Reg(Ident),
+    /// Conditional access: `if (sngl == SINGLE) icw3;`.
+    If {
+        /// Guard condition over structure-member variables.
+        cond: Cond,
+        /// Item(s) executed when the guard holds.
+        then: Box<SerItem>,
+        /// Optional `else` item.
+        els: Option<Box<SerItem>>,
+        /// Span.
+        span: Span,
+    },
+    /// A braced group of items.
+    Block(Vec<SerItem>, Span),
+}
+
+impl SerItem {
+    /// Span of the item.
+    pub fn span(&self) -> Span {
+        match self {
+            SerItem::Reg(i) => i.span,
+            SerItem::If { span, .. } => *span,
+            SerItem::Block(_, s) => *s,
+        }
+    }
+}
+
+/// A boolean guard over variables/parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Cond {
+    /// `lhs == rhs` / `lhs != rhs`.
+    Cmp {
+        /// Variable or parameter compared.
+        lhs: Ident,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant right-hand side.
+        rhs: ConstValue,
+        /// Span.
+        span: Span,
+    },
+    /// `a && b`
+    And(Box<Cond>, Box<Cond>),
+    /// `a || b`
+    Or(Box<Cond>, Box<Cond>),
+    /// `!a`
+    Not(Box<Cond>),
+}
+
+impl Cond {
+    /// Span of the condition.
+    pub fn span(&self) -> Span {
+        match self {
+            Cond::Cmp { span, .. } => *span,
+            Cond::And(a, b) | Cond::Or(a, b) => a.span().to(b.span()),
+            Cond::Not(c) => c.span(),
+        }
+    }
+}
+
+/// Comparison operators in guards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// A constant value in guards, trigger clauses, and enum tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConstValue {
+    /// Integer literal.
+    Int(u64, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// Enum symbol.
+    Sym(Ident),
+    /// Quoted bit pattern.
+    Bits(String, Span),
+}
+
+impl ConstValue {
+    /// Span of the value.
+    pub fn span(&self) -> Span {
+        match self {
+            ConstValue::Int(_, s) | ConstValue::Bool(_, s) | ConstValue::Bits(_, s) => *s,
+            ConstValue::Sym(i) => i.span,
+        }
+    }
+}
+
+/// A named type definition: `type t = { A => '1', B => '0' };`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeDef {
+    /// Type name.
+    pub name: Ident,
+    /// The defined type.
+    pub ty: Type,
+    /// Span of the definition.
+    pub span: Span,
+}
+
+/// A conditional declaration group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CondDecl {
+    /// Guard over constant device parameters.
+    pub cond: Cond,
+    /// Declarations active when the guard holds.
+    pub then: Vec<Decl>,
+    /// Declarations active otherwise.
+    pub els: Vec<Decl>,
+    /// Span.
+    pub span: Span,
+}
+
+/// A type expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Type {
+    /// The type's shape.
+    pub kind: TypeKind,
+    /// Span of the type expression.
+    pub span: Span,
+}
+
+/// The shape of a type expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeKind {
+    /// `int(n)` — unsigned integer of `n` bits.
+    UInt(u32),
+    /// `signed int(n)` — two's-complement integer of `n` bits.
+    SInt(u32),
+    /// `bool` — one bit.
+    Bool,
+    /// `int{0..31}` / `int{0..17,25}` — an integer restricted to a set.
+    IntSet(IntSet),
+    /// An inline enumerated type.
+    Enum(EnumType),
+    /// A reference to a named (`type`) definition.
+    Named(Ident),
+}
+
+/// A set of integers given as single values and inclusive ranges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntSet {
+    /// The set's items, in source order.
+    pub items: Vec<IntSetItem>,
+    /// Span of the set.
+    pub span: Span,
+}
+
+/// One item of an integer set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntSetItem {
+    /// A single value.
+    Single(u64),
+    /// An inclusive range `lo..hi`.
+    Range(u64, u64),
+}
+
+impl IntSet {
+    /// Whether `v` is a member of the set.
+    pub fn contains(&self, v: u64) -> bool {
+        self.items.iter().any(|it| match *it {
+            IntSetItem::Single(s) => s == v,
+            IntSetItem::Range(lo, hi) => (lo..=hi).contains(&v),
+        })
+    }
+
+    /// The largest member, or `None` for an empty set.
+    pub fn max(&self) -> Option<u64> {
+        self.items
+            .iter()
+            .map(|it| match *it {
+                IntSetItem::Single(s) => s,
+                IntSetItem::Range(_, hi) => hi,
+            })
+            .max()
+    }
+
+    /// The smallest member, or `None` for an empty set.
+    pub fn min(&self) -> Option<u64> {
+        self.items
+            .iter()
+            .map(|it| match *it {
+                IntSetItem::Single(s) => s,
+                IntSetItem::Range(lo, _) => lo,
+            })
+            .min()
+    }
+
+    /// Iterates over all members, ascending within each item.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.items.iter().flat_map(|it| match *it {
+            IntSetItem::Single(s) => s..=s,
+            IntSetItem::Range(lo, hi) => lo..=hi,
+        })
+    }
+
+    /// Number of members (with multiplicity collapsed per item, not
+    /// across items).
+    pub fn len(&self) -> u64 {
+        self.items
+            .iter()
+            .map(|it| match *it {
+                IntSetItem::Single(_) => 1,
+                IntSetItem::Range(lo, hi) => hi - lo + 1,
+            })
+            .sum()
+    }
+
+    /// Whether the set has no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// An enumerated type: symbol ↔ bit-pattern mappings with directions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnumType {
+    /// The mapping arms, in source order.
+    pub arms: Vec<EnumArm>,
+    /// Span of the type.
+    pub span: Span,
+}
+
+/// One arm of an enumerated type: `CONFIGURATION => '1'`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EnumArm {
+    /// Symbolic name.
+    pub sym: Ident,
+    /// Mapping direction.
+    pub dir: EnumDir,
+    /// Concrete bit pattern (`0`/`1` characters, MSB first).
+    pub pattern: String,
+    /// Span of the pattern literal.
+    pub pattern_span: Span,
+    /// Span of the arm.
+    pub span: Span,
+}
+
+/// Direction of an enum mapping arm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnumDir {
+    /// `=>`: valid when writing.
+    Write,
+    /// `<=`: valid when reading.
+    Read,
+    /// `<=>`: valid both ways.
+    Both,
+}
+
+impl EnumDir {
+    /// Whether the arm applies to reads.
+    pub fn readable(self) -> bool {
+        matches!(self, EnumDir::Read | EnumDir::Both)
+    }
+
+    /// Whether the arm applies to writes.
+    pub fn writable(self) -> bool {
+        matches!(self, EnumDir::Write | EnumDir::Both)
+    }
+}
+
+/// A small constant expression (register-family arguments).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(u64, Span),
+    /// Parameter or variable reference.
+    Sym(Ident),
+}
+
+impl Expr {
+    /// Span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s) => *s,
+            Expr::Sym(i) => i.span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_set_membership() {
+        let set = IntSet {
+            items: vec![IntSetItem::Range(0, 17), IntSetItem::Single(25)],
+            span: Span::DUMMY,
+        };
+        assert!(set.contains(0));
+        assert!(set.contains(17));
+        assert!(set.contains(25));
+        assert!(!set.contains(18));
+        assert!(!set.contains(26));
+        assert_eq!(set.max(), Some(25));
+        assert_eq!(set.min(), Some(0));
+        assert_eq!(set.len(), 19);
+        assert_eq!(set.iter().count(), 19);
+    }
+
+    #[test]
+    fn bit_range_width() {
+        let r = BitRange { hi: 6, lo: 5, span: Span::DUMMY };
+        assert_eq!(r.width(), 2);
+        let single = BitRange { hi: 3, lo: 3, span: Span::DUMMY };
+        assert_eq!(single.width(), 1);
+    }
+
+    #[test]
+    fn mask_bit_indexing_is_lsb_zero() {
+        // '1..00000' — bit 7 forced-1, bits 6..5 relevant? No: `.` is
+        // irrelevant; the busmouse index_reg mask uses `1..00000` where
+        // bits 6..5 are `.` only in prose; test mechanics instead.
+        let mask = BitMask {
+            bits: "1**00000".chars().map(|c| MaskBit::from_char(c).unwrap()).collect(),
+            span: Span::DUMMY,
+        };
+        assert_eq!(mask.width(), 8);
+        assert_eq!(mask.bit(7), MaskBit::Forced1);
+        assert_eq!(mask.bit(6), MaskBit::Relevant);
+        assert_eq!(mask.bit(5), MaskBit::Relevant);
+        assert_eq!(mask.bit(0), MaskBit::Forced0);
+    }
+
+    #[test]
+    fn mask_bit_char_round_trip() {
+        for c in ['*', '0', '1', '.'] {
+            assert_eq!(MaskBit::from_char(c).unwrap().to_char(), c);
+        }
+        assert_eq!(MaskBit::from_char('-'), Some(MaskBit::Irrelevant));
+        assert_eq!(MaskBit::from_char('x'), None);
+    }
+
+    #[test]
+    fn enum_dir_permissions() {
+        assert!(EnumDir::Both.readable() && EnumDir::Both.writable());
+        assert!(EnumDir::Read.readable() && !EnumDir::Read.writable());
+        assert!(!EnumDir::Write.readable() && EnumDir::Write.writable());
+    }
+
+    #[test]
+    fn empty_int_set() {
+        let set = IntSet { items: vec![], span: Span::DUMMY };
+        assert!(set.is_empty());
+        assert_eq!(set.max(), None);
+        assert_eq!(set.len(), 0);
+    }
+}

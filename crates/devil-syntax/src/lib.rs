@@ -1,0 +1,42 @@
+//! Front end for the Devil hardware-interface definition language.
+//!
+//! Devil (Mérillon et al., OSDI 2000) describes the functional interface
+//! of a hardware device in three layers — *ports*, *registers* and typed
+//! *device variables* — from which a compiler generates the low-level
+//! hardware operating code of a driver. This crate provides the language
+//! front end:
+//!
+//! * [`lexer`] — tokenization with error recovery,
+//! * [`ast`] — the syntax tree,
+//! * [`parser`] — a recovering recursive-descent parser,
+//! * [`pretty`] — a canonical printer (AST → source),
+//! * [`diag`] — structured diagnostics with stable error codes,
+//! * [`span`] — source locations.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//! device demo (base : bit[8] port @ {0..1}) {
+//!     register status = read base @ 0, mask '*......*' : bit[8];
+//!     variable ready = status[0], volatile : bool;
+//!     variable code  = status[7] : bool;
+//! }
+//! "#;
+//! let (device, diags) = devil_syntax::parse(src);
+//! assert!(!diags.has_errors());
+//! assert_eq!(device.unwrap().name.name, "demo");
+//! ```
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::Device;
+pub use diag::{DiagSink, Diagnostic, ErrorCode, Level};
+pub use parser::parse;
+pub use span::{SourceMap, Span};

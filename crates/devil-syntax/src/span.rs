@@ -1,0 +1,176 @@
+//! Source positions, spans and the source map.
+//!
+//! Every token and AST node carries a [`Span`] pointing back into the
+//! original specification text. Spans are byte offsets into a single
+//! source buffer; the [`SourceMap`] converts them to line/column pairs
+//! for diagnostic rendering.
+
+use std::fmt;
+
+/// A half-open byte range `[lo, hi)` into a source buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub lo: u32,
+    /// Byte offset one past the last character.
+    pub hi: u32,
+}
+
+impl Span {
+    /// Creates a span covering bytes `lo..hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        debug_assert!(lo <= hi, "span lo must not exceed hi");
+        Span { lo, hi }
+    }
+
+    /// The empty span at offset zero, used for synthesized nodes.
+    pub const DUMMY: Span = Span { lo: 0, hi: 0 };
+
+    /// Returns a span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Extracts the spanned slice out of `src`.
+    pub fn slice(self, src: &str) -> &str {
+        &src[self.lo as usize..self.hi as usize]
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.lo, self.hi)
+    }
+}
+
+/// A 1-based line/column position, for human-readable diagnostics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes, which matches columns for the
+    /// ASCII-only Devil syntax).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Maps byte offsets in a source buffer to lines and columns.
+///
+/// Built once per source file; lookup is a binary search over the
+/// precomputed line-start table.
+#[derive(Clone, Debug)]
+pub struct SourceMap {
+    /// Display name of the source (file path or `<input>`).
+    pub name: String,
+    /// The full source text.
+    pub src: String,
+    /// Byte offsets at which each line starts. Always begins with 0.
+    line_starts: Vec<u32>,
+}
+
+impl SourceMap {
+    /// Builds a source map for `src`, labelled `name` in diagnostics.
+    pub fn new(name: impl Into<String>, src: impl Into<String>) -> Self {
+        let src = src.into();
+        let mut line_starts = vec![0u32];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i as u32 + 1);
+            }
+        }
+        SourceMap {
+            name: name.into(),
+            src,
+            line_starts,
+        }
+    }
+
+    /// Converts a byte offset into a [`LineCol`].
+    pub fn line_col(&self, offset: u32) -> LineCol {
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        LineCol {
+            line: line_idx as u32 + 1,
+            col: offset - self.line_starts[line_idx] + 1,
+        }
+    }
+
+    /// Returns the full text of the (1-based) line containing `offset`.
+    pub fn line_text(&self, offset: u32) -> &str {
+        let lc = self.line_col(offset);
+        let start = self.line_starts[(lc.line - 1) as usize] as usize;
+        let end = self
+            .line_starts
+            .get(lc.line as usize)
+            .map(|&e| e as usize)
+            .unwrap_or(self.src.len());
+        self.src[start..end].trim_end_matches(['\n', '\r'])
+    }
+
+    /// Number of lines in the source.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_and_slice() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.to(b), Span::new(2, 9));
+        assert_eq!(b.to(a), Span::new(2, 9));
+        assert_eq!(a.len(), 3);
+        assert!(!a.is_empty());
+        assert!(Span::DUMMY.is_empty());
+        assert_eq!(Span::new(0, 6).slice("device x"), "device");
+    }
+
+    #[test]
+    fn source_map_line_col() {
+        let sm = SourceMap::new("t.dil", "ab\ncde\n\nf");
+        assert_eq!(sm.line_col(0), LineCol { line: 1, col: 1 });
+        assert_eq!(sm.line_col(1), LineCol { line: 1, col: 2 });
+        assert_eq!(sm.line_col(3), LineCol { line: 2, col: 1 });
+        assert_eq!(sm.line_col(5), LineCol { line: 2, col: 3 });
+        assert_eq!(sm.line_col(7), LineCol { line: 3, col: 1 });
+        assert_eq!(sm.line_col(8), LineCol { line: 4, col: 1 });
+        assert_eq!(sm.line_count(), 4);
+    }
+
+    #[test]
+    fn source_map_line_text() {
+        let sm = SourceMap::new("t.dil", "first\nsecond line\r\nthird");
+        assert_eq!(sm.line_text(2), "first");
+        assert_eq!(sm.line_text(8), "second line");
+        assert_eq!(sm.line_text(20), "third");
+    }
+
+    #[test]
+    fn line_col_display() {
+        assert_eq!(LineCol { line: 3, col: 9 }.to_string(), "3:9");
+    }
+}

@@ -1,0 +1,282 @@
+//! Token definitions for the Devil language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Keywords of the Devil language.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Keyword {
+    Device,
+    Register,
+    Variable,
+    Structure,
+    Private,
+    Volatile,
+    Trigger,
+    Except,
+    For,
+    Serialized,
+    As,
+    If,
+    Else,
+    Mask,
+    Pre,
+    Post,
+    Set,
+    Read,
+    Write,
+    Bit,
+    Port,
+    Int,
+    Signed,
+    Bool,
+    Block,
+    True,
+    False,
+    Type,
+    Import,
+}
+
+impl Keyword {
+    /// Looks an identifier up in the keyword table.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "device" => Device,
+            "register" => Register,
+            "variable" => Variable,
+            "structure" => Structure,
+            "private" => Private,
+            "volatile" => Volatile,
+            "trigger" => Trigger,
+            "except" => Except,
+            "for" => For,
+            "serialized" => Serialized,
+            "as" => As,
+            "if" => If,
+            "else" => Else,
+            "mask" => Mask,
+            "pre" => Pre,
+            "post" => Post,
+            "set" => Set,
+            "read" => Read,
+            "write" => Write,
+            "bit" => Bit,
+            "port" => Port,
+            "int" => Int,
+            "signed" => Signed,
+            "bool" => Bool,
+            "block" => Block,
+            "true" => True,
+            "false" => False,
+            "type" => Type,
+            "import" => Import,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling of the keyword.
+    pub fn as_str(self) -> &'static str {
+        use Keyword::*;
+        match self {
+            Device => "device",
+            Register => "register",
+            Variable => "variable",
+            Structure => "structure",
+            Private => "private",
+            Volatile => "volatile",
+            Trigger => "trigger",
+            Except => "except",
+            For => "for",
+            Serialized => "serialized",
+            As => "as",
+            If => "if",
+            Else => "else",
+            Mask => "mask",
+            Pre => "pre",
+            Post => "post",
+            Set => "set",
+            Read => "read",
+            Write => "write",
+            Bit => "bit",
+            Port => "port",
+            Int => "int",
+            Signed => "signed",
+            Bool => "bool",
+            Block => "block",
+            True => "true",
+            False => "false",
+            Type => "type",
+            Import => "import",
+        }
+    }
+}
+
+/// The kind (and payload) of a single token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// An identifier that is not a keyword.
+    Ident(String),
+    /// A reserved word.
+    Kw(Keyword),
+    /// An integer literal (decimal, `0x` hex, or `0b` binary).
+    Int(u64),
+    /// A quoted bit/mask literal such as `'1001000.'`; payload is the
+    /// character sequence between the quotes, each of `0 1 * . -`.
+    Quoted(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `@`
+    At,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `#`
+    Hash,
+    /// `..`
+    DotDot,
+    /// `=>`
+    FatArrow,
+    /// `<=`
+    ReadArrow,
+    /// `<=>`
+    BothArrow,
+    /// `*`
+    Star,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in parse errors.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Kw(k) => format!("keyword `{}`", k.as_str()),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Quoted(q) => format!("bit literal `'{q}'`"),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::At => "`@`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::NotEq => "`!=`".into(),
+            TokenKind::Hash => "`#`".into(),
+            TokenKind::DotDot => "`..`".into(),
+            TokenKind::FatArrow => "`=>`".into(),
+            TokenKind::ReadArrow => "`<=`".into(),
+            TokenKind::BothArrow => "`<=>`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::AndAnd => "`&&`".into(),
+            TokenKind::OrOr => "`||`".into(),
+            TokenKind::Not => "`!`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Device,
+            Keyword::Register,
+            Keyword::Variable,
+            Keyword::Structure,
+            Keyword::Private,
+            Keyword::Volatile,
+            Keyword::Trigger,
+            Keyword::Except,
+            Keyword::For,
+            Keyword::Serialized,
+            Keyword::As,
+            Keyword::If,
+            Keyword::Else,
+            Keyword::Mask,
+            Keyword::Pre,
+            Keyword::Post,
+            Keyword::Set,
+            Keyword::Read,
+            Keyword::Write,
+            Keyword::Bit,
+            Keyword::Port,
+            Keyword::Int,
+            Keyword::Signed,
+            Keyword::Bool,
+            Keyword::Block,
+            Keyword::True,
+            Keyword::False,
+            Keyword::Type,
+            Keyword::Import,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+        assert_eq!(Keyword::from_str("notakeyword"), None);
+        assert_eq!(Keyword::from_str("Device"), None, "keywords are case sensitive");
+    }
+
+    #[test]
+    fn describe_is_human_readable() {
+        assert_eq!(TokenKind::Ident("dx".into()).describe(), "identifier `dx`");
+        assert_eq!(TokenKind::Kw(Keyword::Register).describe(), "keyword `register`");
+        assert_eq!(TokenKind::Quoted("1..0".into()).describe(), "bit literal `'1..0'`");
+        assert_eq!(TokenKind::BothArrow.describe(), "`<=>`");
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the front end: generated specifications survive
+//! the pretty-print → re-parse → pretty-print cycle, and the lexer
+//! never panics on arbitrary input.
+
+use devil_syntax::{parse, pretty::print_device};
+use proptest::prelude::*;
+
+/// Strategy for identifiers (never keywords: always prefixed).
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| format!("v_{s}"))
+}
+
+/// Strategy for a mask string of width `w`.
+fn mask(w: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(prop_oneof![Just('*'), Just('0'), Just('1'), Just('.')], w)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Builds a small random-but-valid specification source.
+fn spec() -> impl Strategy<Value = String> {
+    (
+        ident(),
+        proptest::collection::vec((ident(), mask(8), 0u32..8, any::<bool>()), 1..6),
+    )
+        .prop_map(|(dev, regs)| {
+            let mut out = String::new();
+            let max_off = regs.iter().map(|(_, _, o, _)| *o).max().unwrap_or(0);
+            out.push_str(&format!("device d_{dev} (base : bit[8] port @ {{0..{max_off}}}) {{\n"));
+            let mut used = std::collections::HashSet::new();
+            for (i, (name, m, off, write_only)) in regs.iter().enumerate() {
+                if !used.insert(name.clone()) {
+                    continue;
+                }
+                let dir = if *write_only { "write " } else { "" };
+                out.push_str(&format!(
+                    "  register r{i}_{name} = {dir}base @ {off}, mask '{m}' : bit[8];\n"
+                ));
+                out.push_str(&format!("  variable x{i}_{name} = r{i}_{name}[3..0] : int(4);\n"));
+            }
+            out.push('}');
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pretty_print_is_a_fixpoint(src in spec()) {
+        let (dev, diags) = parse(&src);
+        // Random specs may be semantically nonsense but must parse.
+        prop_assert!(!diags.has_errors(), "parse failed:\n{src}\n{:?}", diags.all());
+        let dev = dev.unwrap();
+        let once = print_device(&dev);
+        let (dev2, diags2) = parse(&once);
+        prop_assert!(!diags2.has_errors(), "re-parse failed:\n{once}");
+        let twice = print_device(&dev2.unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn lexer_never_panics(src in "\\PC*") {
+        let mut diags = devil_syntax::DiagSink::new();
+        let toks = devil_syntax::lexer::lex(&src, &mut diags);
+        prop_assert!(!toks.is_empty(), "at least Eof");
+    }
+
+    #[test]
+    fn parser_never_panics(src in "[a-z0-9_@:;,\\[\\]{}()'.#*=<> \n]{0,200}") {
+        let _ = parse(&src);
+    }
+
+    #[test]
+    fn spans_are_within_bounds(src in spec()) {
+        let mut diags = devil_syntax::DiagSink::new();
+        let toks = devil_syntax::lexer::lex(&src, &mut diags);
+        for t in toks {
+            prop_assert!(t.span.lo as usize <= src.len());
+            prop_assert!(t.span.hi as usize <= src.len());
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Drivers for the simulated devices, in two styles.
+//!
+//! For each evaluated device this crate carries a **hand-crafted**
+//! driver (bit-twiddling against raw port addresses, transcribing the
+//! original Linux code the paper compares against) and a **Devil-based**
+//! driver whose entire hardware-operating layer goes through interfaces
+//! compiled from the embedded `.dil` specifications. The experiment
+//! harnesses in `devil-eval` run both against the same simulated
+//! hardware and compare observable behaviour, I/O-operation counts and
+//! simulated time.
+
+pub mod busmouse;
+pub mod ide;
+pub mod ne2000;
+pub mod pm2;
+pub mod specs;
+
+pub use busmouse::{DevilBusmouse, HandBusmouse, MouseState};
+pub use ide::{DevilIde, HandIde, PioConfig, PioMove};
+pub use ne2000::{DevilNe2000, HandNe2000};
+pub use pm2::{Depth, DevilPm2, HandPm2};

@@ -1,0 +1,257 @@
+//! NE2000 drivers: packet transmit/receive through remote DMA, in the
+//! hand-crafted and Devil-based styles.
+
+use devices::ne2000::{cr, isr, p0};
+use devil_runtime::{DeviceInstance, MappedPort, PortMap};
+use hwsim::Bus;
+
+/// The hand-crafted NE2000 driver.
+pub struct HandNe2000 {
+    base: u64,
+}
+
+impl HandNe2000 {
+    /// Creates a driver for a card at I/O `base`.
+    pub fn new(base: u64) -> Self {
+        HandNe2000 { base }
+    }
+
+    /// Starts the NIC with a standard ring configuration.
+    pub fn start(&self, bus: &mut Bus) {
+        bus.outb(self.base + p0::PSTART, 0x46);
+        bus.outb(self.base + p0::PSTOP, 0x80);
+        bus.outb(self.base + p0::BNRY, 0x46);
+        bus.outb(self.base + p0::IMR, isr::PRX | isr::PTX);
+        bus.outb(self.base + p0::CR, cr::STA);
+    }
+
+    fn remote_setup(&self, bus: &mut Bus, addr: u16, len: u16, write: bool) {
+        bus.outb(self.base + p0::RSAR0, addr as u8);
+        bus.outb(self.base + p0::RSAR1, (addr >> 8) as u8);
+        bus.outb(self.base + p0::RBCR0, len as u8);
+        bus.outb(self.base + p0::RBCR1, (len >> 8) as u8);
+        let rd = if write { cr::RD_WRITE } else { cr::RD_READ };
+        bus.outb(self.base + p0::CR, cr::STA | rd);
+    }
+
+    /// Transmits a frame.
+    pub fn send(&self, bus: &mut Bus, frame: &[u8]) {
+        self.remote_setup(bus, 0x4000, frame.len() as u16, true);
+        for chunk in frame.chunks(2) {
+            let w = chunk[0] as u16 | ((chunk.get(1).copied().unwrap_or(0) as u16) << 8);
+            bus.outw(self.base + p0::DATA, w);
+        }
+        bus.outb(self.base + p0::ISR, isr::RDC);
+        bus.outb(self.base + p0::TPSR, 0x40);
+        bus.outb(self.base + p0::TBCR0, frame.len() as u8);
+        bus.outb(self.base + p0::TBCR1, (frame.len() >> 8) as u8);
+        bus.outb(self.base + p0::CR, cr::STA | cr::TXP);
+    }
+
+    /// Receives the next pending frame, if any.
+    pub fn recv(&self, bus: &mut Bus) -> Option<Vec<u8>> {
+        if bus.inb(self.base + p0::ISR) & isr::PRX == 0 {
+            return None;
+        }
+        // Read the 4-byte ring header at the boundary page.
+        let page = bus.inb(self.base + p0::BNRY) as u16;
+        self.remote_setup(bus, page << 8, 4, false);
+        let _status = bus.inb(self.base + p0::DATA);
+        let next = bus.inb(self.base + p0::DATA);
+        let len_lo = bus.inb(self.base + p0::DATA) as u16;
+        let len_hi = bus.inb(self.base + p0::DATA) as u16;
+        let total = (len_lo | (len_hi << 8)).saturating_sub(4);
+        self.remote_setup(bus, (page << 8) + 4, total, false);
+        let mut frame = Vec::with_capacity(total as usize);
+        for _ in 0..total {
+            frame.push(bus.inb(self.base + p0::DATA));
+        }
+        bus.outb(self.base + p0::BNRY, next);
+        bus.outb(self.base + p0::ISR, isr::PRX | isr::RDC);
+        Some(frame)
+    }
+}
+
+/// The Devil-based NE2000 driver.
+pub struct DevilNe2000 {
+    base: u64,
+    dev: DeviceInstance,
+}
+
+impl DevilNe2000 {
+    /// Compiles the embedded specification and binds it at `base`.
+    pub fn new(base: u64) -> Self {
+        DevilNe2000 { base, dev: crate::specs::instance(crate::specs::NE2000) }
+    }
+
+    fn ports<'b>(&self, bus: &'b mut Bus) -> PortMap<'b> {
+        // Port 0: the byte registers at base; port 1: the 16-bit data
+        // window. The spec addresses the window at offset 16, so the
+        // physical base is the same.
+        PortMap::new(bus, vec![MappedPort::io(self.base), MappedPort::io(self.base)])
+    }
+
+    /// Starts the NIC with a standard ring configuration.
+    pub fn start(&mut self, bus: &mut Bus) {
+        let mut map = self.ports(bus);
+        self.dev.write(&mut map, "pstart", 0x46).unwrap();
+        self.dev.write(&mut map, "pstop", 0x80).unwrap();
+        self.dev.write(&mut map, "bnry", 0x46).unwrap();
+        self.dev.write(&mut map, "int_mask", (isr::PRX | isr::PTX) as u64).unwrap();
+        self.dev.write_sym(&mut map, "st", "STA").unwrap();
+    }
+
+    fn remote_setup(&mut self, bus: &mut Bus, addr: u16, len: u16, write: bool) {
+        let mut map = self.ports(bus);
+        self.dev.write(&mut map, "rsar", addr as u64).unwrap();
+        self.dev.write(&mut map, "rbcr", len as u64).unwrap();
+        let op = if write { "RWRITE" } else { "RREAD" };
+        self.dev.write_sym(&mut map, "rd", op).unwrap();
+    }
+
+    /// Transmits a frame.
+    pub fn send(&mut self, bus: &mut Bus, frame: &[u8]) {
+        self.remote_setup(bus, 0x4000, frame.len() as u16, true);
+        let words: Vec<u64> = frame
+            .chunks(2)
+            .map(|c| c[0] as u64 | ((c.get(1).copied().unwrap_or(0) as u64) << 8))
+            .collect();
+        let mut map = self.ports(bus);
+        self.dev.write_block(&mut map, "remote_data", &words).unwrap();
+        self.dev.write(&mut map, "rdc", 1).unwrap(); // W1C ack
+        self.dev.write(&mut map, "tpsr", 0x40).unwrap();
+        self.dev.write(&mut map, "tbcr", frame.len() as u64).unwrap();
+        self.dev.write_sym(&mut map, "txp", "SEND").unwrap();
+    }
+
+    /// Receives the next pending frame, if any.
+    pub fn recv(&mut self, bus: &mut Bus) -> Option<Vec<u8>> {
+        let pending = {
+            let mut map = self.ports(bus);
+            self.dev.read(&mut map, "prx").unwrap() == 1
+        };
+        if !pending {
+            return None;
+        }
+        let page = {
+            let mut map = self.ports(bus);
+            self.dev.read(&mut map, "bnry").unwrap() as u16
+        };
+        self.remote_setup(bus, page << 8, 4, false);
+        let mut hdr = [0u64; 2];
+        {
+            let mut map = self.ports(bus);
+            self.dev.read_block(&mut map, "remote_data", &mut hdr).unwrap();
+        }
+        let next = (hdr[0] >> 8) as u8;
+        let total = (hdr[1] as u16).saturating_sub(4);
+        self.remote_setup(bus, (page << 8) + 4, total, false);
+        let mut words = vec![0u64; total.div_ceil(2) as usize];
+        let mut map = self.ports(bus);
+        self.dev.read_block(&mut map, "remote_data", &mut words).unwrap();
+        let mut frame: Vec<u8> = words
+            .iter()
+            .flat_map(|w| [*w as u8, (*w >> 8) as u8])
+            .collect();
+        frame.truncate(total as usize);
+        self.dev.write(&mut map, "bnry", next as u64).unwrap();
+        self.dev.write(&mut map, "prx", 1).unwrap();
+        self.dev.write(&mut map, "rdc", 1).unwrap();
+        Some(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devices::Ne2000;
+    use hwsim::IrqLine;
+
+    const BASE: u64 = 0x300;
+
+    fn rig() -> (Bus, IrqLine) {
+        let irq = IrqLine::new();
+        let nic = Ne2000::new([2, 0, 0, 0, 0, 1], irq.clone());
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(nic), BASE, 18);
+        (bus, irq)
+    }
+
+    fn nic_transmitted(bus: &mut Bus) -> Vec<Vec<u8>> {
+        // The device is the sole attachment; reach it for assertions.
+        // hwsim has no downcast, so capture via a fresh direct rig in
+        // unit style instead: tests that need internals drive the
+        // device directly.
+        let _ = bus;
+        Vec::new()
+    }
+
+    #[test]
+    fn hand_send_and_loopback_recv() {
+        let (mut bus, irq) = rig();
+        let drv = HandNe2000::new(BASE);
+        drv.start(&mut bus);
+        let frame = vec![0x11u8, 0x22, 0x33, 0x44, 0x55, 0x66];
+        drv.send(&mut bus, &frame);
+        assert!(irq.pending(), "PTX interrupt after transmit");
+        let _ = nic_transmitted(&mut bus);
+    }
+
+    #[test]
+    fn devil_send_matches_hand_protocol() {
+        let (mut bus_h, irq_h) = rig();
+        let hand = HandNe2000::new(BASE);
+        hand.start(&mut bus_h);
+        hand.send(&mut bus_h, &[1, 2, 3, 4]);
+        assert!(irq_h.pending());
+
+        let (mut bus_d, irq_d) = rig();
+        let mut devil = DevilNe2000::new(BASE);
+        devil.start(&mut bus_d);
+        devil.send(&mut bus_d, &[1, 2, 3, 4]);
+        assert!(irq_d.pending());
+    }
+
+    #[test]
+    fn recv_round_trip_via_injection() {
+        // Drive the device directly for injection, then read through
+        // the drivers over a bus.
+        let irq = IrqLine::new();
+        let mut nic = Ne2000::new([2, 0, 0, 0, 0, 1], irq.clone());
+        // Start it the way the driver would.
+        use hwsim::{Device, Width};
+        nic.io_write(p0::PSTART, 0x46, Width::W8);
+        nic.io_write(p0::PSTOP, 0x80, Width::W8);
+        nic.io_write(p0::BNRY, 0x46, Width::W8);
+        nic.io_write(p0::IMR, (isr::PRX | isr::PTX) as u64, Width::W8);
+        nic.io_write(p0::CR, cr::STA as u64, Width::W8);
+        let payload = vec![9u8, 8, 7, 6, 5, 4];
+        nic.inject_rx(&payload);
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(nic), BASE, 18);
+
+        let drv = HandNe2000::new(BASE);
+        let got = drv.recv(&mut bus).expect("frame pending");
+        assert_eq!(got, payload);
+        assert!(drv.recv(&mut bus).is_none(), "queue drained");
+    }
+
+    #[test]
+    fn devil_recv_round_trip() {
+        let irq = IrqLine::new();
+        let mut nic = Ne2000::new([2, 0, 0, 0, 0, 1], irq);
+        use hwsim::{Device, Width};
+        nic.io_write(p0::PSTART, 0x46, Width::W8);
+        nic.io_write(p0::PSTOP, 0x80, Width::W8);
+        nic.io_write(p0::BNRY, 0x46, Width::W8);
+        nic.io_write(p0::CR, cr::STA as u64, Width::W8);
+        let payload = vec![0xde, 0xad, 0xbe, 0xef];
+        nic.inject_rx(&payload);
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(nic), BASE, 18);
+
+        let mut devil = DevilNe2000::new(BASE);
+        let got = devil.recv(&mut bus).expect("frame pending");
+        assert_eq!(got, payload);
+    }
+}

@@ -1,0 +1,63 @@
+//! The embedded Devil specification library.
+//!
+//! Every `.dil` source ships inside the binary (the paper's vision of a
+//! public-domain specification repository); [`instance`] compiles one
+//! into a ready-to-use [`DeviceInstance`].
+
+use devil_runtime::DeviceInstance;
+
+/// Figure 1: the Logitech bus mouse.
+pub const BUSMOUSE: &str = include_str!("../../../specs/busmouse.dil");
+/// The IDE task file (Table 2).
+pub const IDE: &str = include_str!("../../../specs/ide.dil");
+/// The PIIX4 busmaster function (Table 2, DMA rows).
+pub const PIIX4: &str = include_str!("../../../specs/piix4ide.dil");
+/// The Permedia2 2D engine (Tables 3 and 4).
+pub const PERMEDIA2: &str = include_str!("../../../specs/permedia2.dil");
+/// The NE2000 Ethernet controller.
+pub const NE2000: &str = include_str!("../../../specs/ne2000.dil");
+/// The 8237A DMA controller.
+pub const DMA8237: &str = include_str!("../../../specs/dma8237.dil");
+/// The 8259A interrupt controller.
+pub const PIC8259: &str = include_str!("../../../specs/pic8259.dil");
+/// The CS4236B codec automata.
+pub const CS4236B: &str = include_str!("../../../specs/cs4236b.dil");
+
+/// All shipped specifications, `(name, source)`.
+pub const ALL: [(&str, &str); 8] = [
+    ("busmouse", BUSMOUSE),
+    ("ide", IDE),
+    ("piix4ide", PIIX4),
+    ("permedia2", PERMEDIA2),
+    ("ne2000", NE2000),
+    ("dma8237", DMA8237),
+    ("pic8259", PIC8259),
+    ("cs4236b", CS4236B),
+];
+
+/// Compiles a specification source into a runtime instance.
+///
+/// # Panics
+///
+/// Panics if the source does not pass the checker — the embedded
+/// library is verified by tests, so a failure here is a build bug.
+pub fn instance(source: &str) -> DeviceInstance {
+    let model = devil_sema::check_source(source, &[]).unwrap_or_else(|diags| {
+        let sm = devil_syntax::SourceMap::new("<embedded>", source);
+        panic!("embedded spec failed to check:\n{}", diags.render_all(&sm));
+    });
+    DeviceInstance::new(devil_ir::lower(&model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_embedded_spec_compiles() {
+        for (name, src) in ALL {
+            let inst = instance(src);
+            assert!(!inst.ir().vars.is_empty(), "{name} has variables");
+        }
+    }
+}

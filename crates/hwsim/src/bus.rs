@@ -1,0 +1,511 @@
+//! The system bus: address claims, access dispatch, cost accounting.
+//!
+//! Drivers talk to devices exclusively through a [`Bus`]: port I/O
+//! (`inb`/`outb` and friends), block string operations (`insw`/`outsw`,
+//! modelling x86 `rep ins`/`rep outs`), and memory-mapped access. Every
+//! operation is charged to the [`Ledger`] and the [`SimClock`], which is
+//! what the experiment harnesses measure.
+
+use crate::clock::{CostModel, SimClock};
+use crate::device::Device;
+use crate::ledger::Ledger;
+use crate::width::Width;
+
+/// An address-range claim registered by a device.
+#[derive(Debug)]
+struct Claim {
+    base: u64,
+    len: u64,
+    device: usize,
+}
+
+impl Claim {
+    fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.len
+    }
+}
+
+/// The simulated system bus.
+pub struct Bus {
+    devices: Vec<Box<dyn Device>>,
+    io_claims: Vec<Claim>,
+    mem_claims: Vec<Claim>,
+    ledger: Ledger,
+    clock: SimClock,
+    costs: CostModel,
+    /// Panic on accesses to unclaimed addresses instead of returning
+    /// floating-bus values. Useful in tests.
+    strict: bool,
+}
+
+/// Handle to a device attached to a [`Bus`], for typed re-borrowing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceId(usize);
+
+impl Default for Bus {
+    fn default() -> Self {
+        Self::new(CostModel::default())
+    }
+}
+
+impl Bus {
+    /// Creates an empty bus with the given cost model.
+    pub fn new(costs: CostModel) -> Self {
+        Bus {
+            devices: Vec::new(),
+            io_claims: Vec::new(),
+            mem_claims: Vec::new(),
+            ledger: Ledger::new(),
+            clock: SimClock::new(),
+            costs,
+            strict: false,
+        }
+    }
+
+    /// Makes unclaimed accesses panic (for tests). Default: they count
+    /// in the ledger and reads return all-ones, like a floating bus.
+    pub fn set_strict(&mut self, strict: bool) {
+        self.strict = strict;
+    }
+
+    /// Attaches a device with no address claims (claims can be added
+    /// afterwards with [`Bus::claim_io`] / [`Bus::claim_mem`]).
+    pub fn attach(&mut self, dev: Box<dyn Device>) -> DeviceId {
+        self.devices.push(dev);
+        DeviceId(self.devices.len() - 1)
+    }
+
+    /// Attaches a device and claims `len` port addresses at `base`.
+    pub fn attach_io(&mut self, dev: Box<dyn Device>, base: u64, len: u64) -> DeviceId {
+        let id = self.attach(dev);
+        self.claim_io(id, base, len);
+        id
+    }
+
+    /// Attaches a device and claims `len` bytes of memory space at `base`.
+    pub fn attach_mem(&mut self, dev: Box<dyn Device>, base: u64, len: u64) -> DeviceId {
+        let id = self.attach(dev);
+        self.claim_mem(id, base, len);
+        id
+    }
+
+    /// Adds a port-space claim for an attached device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing claim — simulated
+    /// machines are configured statically and an overlap is a harness
+    /// bug.
+    pub fn claim_io(&mut self, id: DeviceId, base: u64, len: u64) {
+        assert!(
+            !self
+                .io_claims
+                .iter()
+                .any(|c| base < c.base + c.len && c.base < base + len),
+            "overlapping I/O claim at {base:#x}"
+        );
+        self.io_claims.push(Claim { base, len, device: id.0 });
+    }
+
+    /// Adds a memory-space claim for an attached device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps an existing claim.
+    pub fn claim_mem(&mut self, id: DeviceId, base: u64, len: u64) {
+        assert!(
+            !self
+                .mem_claims
+                .iter()
+                .any(|c| base < c.base + c.len && c.base < base + len),
+            "overlapping memory claim at {base:#x}"
+        );
+        self.mem_claims.push(Claim { base, len, device: id.0 });
+    }
+
+    /// Borrows an attached device for direct inspection (tests and
+    /// harnesses; drivers must go through bus accesses).
+    pub fn device_mut(&mut self, id: DeviceId) -> &mut dyn Device {
+        self.devices[id.0].as_mut()
+    }
+
+    // ---- measurement ----
+
+    /// The cumulative operation ledger.
+    pub fn ledger(&self) -> Ledger {
+        self.ledger
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> f64 {
+        self.clock.now_ns()
+    }
+
+    /// Advances simulated time without bus traffic (e.g. the driver
+    /// sleeping while waiting for an interrupt) and ticks devices.
+    pub fn idle(&mut self, ns: f64) {
+        self.clock.advance(ns);
+        let now = self.clock.now_ns();
+        for d in &mut self.devices {
+            d.tick(now);
+        }
+    }
+
+    /// The bus cost model.
+    pub fn costs(&self) -> CostModel {
+        self.costs
+    }
+
+    /// Replaces the cost model (harnesses sweep calibrations).
+    pub fn set_costs(&mut self, costs: CostModel) {
+        self.costs = costs;
+    }
+
+    // ---- port I/O ----
+
+    fn io_lookup(&self, addr: u64) -> Option<(usize, u64)> {
+        self.io_claims
+            .iter()
+            .find(|c| c.contains(addr))
+            .map(|c| (c.device, addr - c.base))
+    }
+
+    fn mem_lookup(&self, addr: u64) -> Option<(usize, u64)> {
+        self.mem_claims
+            .iter()
+            .find(|c| c.contains(addr))
+            .map(|c| (c.device, addr - c.base))
+    }
+
+    fn tick_device(&mut self, idx: usize) {
+        let now = self.clock.now_ns();
+        self.devices[idx].tick(now);
+    }
+
+    /// Generic port read.
+    pub fn io_read(&mut self, addr: u64, width: Width) -> u64 {
+        self.clock.advance(self.costs.io_single_ns);
+        self.ledger.count_in(width);
+        match self.io_lookup(addr) {
+            Some((idx, off)) => {
+                self.tick_device(idx);
+                width.truncate(self.devices[idx].io_read(off, width))
+            }
+            None => {
+                self.unclaimed(addr, "port read");
+                width.ones()
+            }
+        }
+    }
+
+    /// Generic port write.
+    pub fn io_write(&mut self, addr: u64, value: u64, width: Width) {
+        self.clock.advance(self.costs.io_single_ns);
+        self.ledger.count_out(width);
+        match self.io_lookup(addr) {
+            Some((idx, off)) => {
+                self.tick_device(idx);
+                self.devices[idx].io_write(off, width.truncate(value), width);
+            }
+            None => self.unclaimed(addr, "port write"),
+        }
+    }
+
+    /// 8-bit port read (`inb`).
+    pub fn inb(&mut self, addr: u64) -> u8 {
+        self.io_read(addr, Width::W8) as u8
+    }
+
+    /// 8-bit port write (`outb`).
+    pub fn outb(&mut self, addr: u64, v: u8) {
+        self.io_write(addr, v as u64, Width::W8);
+    }
+
+    /// 16-bit port read (`inw`).
+    pub fn inw(&mut self, addr: u64) -> u16 {
+        self.io_read(addr, Width::W16) as u16
+    }
+
+    /// 16-bit port write (`outw`).
+    pub fn outw(&mut self, addr: u64, v: u16) {
+        self.io_write(addr, v as u64, Width::W16);
+    }
+
+    /// 32-bit port read (`inl`).
+    pub fn inl(&mut self, addr: u64) -> u32 {
+        self.io_read(addr, Width::W32) as u32
+    }
+
+    /// 32-bit port write (`outl`).
+    pub fn outl(&mut self, addr: u64, v: u32) {
+        self.io_write(addr, v as u64, Width::W32);
+    }
+
+    /// Block string input (`rep insw`-style): reads `buf.len()` words of
+    /// `width` from one port into `buf`. Charged at block rates.
+    pub fn ins(&mut self, addr: u64, width: Width, buf: &mut [u64]) {
+        self.clock.advance(
+            self.costs.io_block_setup_ns + self.costs.io_block_word_ns * buf.len() as f64,
+        );
+        self.ledger.block_ops += 1;
+        self.ledger.block_in_words += buf.len() as u64;
+        match self.io_lookup(addr) {
+            Some((idx, off)) => {
+                self.tick_device(idx);
+                for slot in buf.iter_mut() {
+                    *slot = width.truncate(self.devices[idx].io_read(off, width));
+                }
+            }
+            None => {
+                self.unclaimed(addr, "block port read");
+                buf.fill(width.ones());
+            }
+        }
+    }
+
+    /// Block string output (`rep outsw`-style).
+    pub fn outs(&mut self, addr: u64, width: Width, buf: &[u64]) {
+        self.clock.advance(
+            self.costs.io_block_setup_ns + self.costs.io_block_word_ns * buf.len() as f64,
+        );
+        self.ledger.block_ops += 1;
+        self.ledger.block_out_words += buf.len() as u64;
+        match self.io_lookup(addr) {
+            Some((idx, off)) => {
+                self.tick_device(idx);
+                for &v in buf {
+                    self.devices[idx].io_write(off, width.truncate(v), width);
+                }
+            }
+            None => self.unclaimed(addr, "block port write"),
+        }
+    }
+
+    // ---- memory-mapped I/O ----
+
+    /// Memory-mapped read.
+    pub fn mem_read(&mut self, addr: u64, width: Width) -> u64 {
+        self.clock.advance(self.costs.mem_read_ns);
+        self.ledger.mem_read += 1;
+        match self.mem_lookup(addr) {
+            Some((idx, off)) => {
+                self.tick_device(idx);
+                width.truncate(self.devices[idx].mem_read(off, width))
+            }
+            None => {
+                self.unclaimed(addr, "memory read");
+                width.ones()
+            }
+        }
+    }
+
+    /// Memory-mapped write (posted).
+    pub fn mem_write(&mut self, addr: u64, value: u64, width: Width) {
+        self.clock.advance(self.costs.mem_write_ns);
+        self.ledger.mem_write += 1;
+        match self.mem_lookup(addr) {
+            Some((idx, off)) => {
+                self.tick_device(idx);
+                self.devices[idx].mem_write(off, width.truncate(value), width);
+            }
+            None => self.unclaimed(addr, "memory write"),
+        }
+    }
+
+    /// Charges a device-driven DMA transfer of `words` words to the
+    /// ledger and clock. Called by device models when they master the
+    /// bus; the CPU is not involved.
+    pub fn charge_dma(&mut self, words: u64) {
+        self.ledger.dma_words += words;
+        self.clock.advance(self.costs.dma_word_ns * words as f64);
+    }
+
+    fn unclaimed(&mut self, addr: u64, what: &str) {
+        self.ledger.unclaimed += 1;
+        if self.strict {
+            panic!("{what} to unclaimed address {addr:#x}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An 8-byte scratch register file for bus tests.
+    struct Scratch {
+        regs: [u8; 8],
+        ticks: u64,
+    }
+
+    impl Scratch {
+        fn new() -> Self {
+            Scratch { regs: [0; 8], ticks: 0 }
+        }
+    }
+
+    impl Device for Scratch {
+        fn name(&self) -> &str {
+            "scratch"
+        }
+        fn io_read(&mut self, offset: u64, width: Width) -> u64 {
+            match width {
+                Width::W8 => self.regs[offset as usize] as u64,
+                Width::W16 => u16::from_le_bytes([
+                    self.regs[offset as usize],
+                    self.regs[offset as usize + 1],
+                ]) as u64,
+                Width::W32 => u32::from_le_bytes([
+                    self.regs[offset as usize],
+                    self.regs[offset as usize + 1],
+                    self.regs[offset as usize + 2],
+                    self.regs[offset as usize + 3],
+                ]) as u64,
+            }
+        }
+        fn io_write(&mut self, offset: u64, value: u64, width: Width) {
+            for i in 0..width.bytes() {
+                self.regs[(offset + i) as usize] = (value >> (8 * i)) as u8;
+            }
+        }
+        fn mem_read(&mut self, offset: u64, width: Width) -> u64 {
+            self.io_read(offset, width)
+        }
+        fn mem_write(&mut self, offset: u64, value: u64, width: Width) {
+            self.io_write(offset, value, width);
+        }
+        fn tick(&mut self, _now: f64) {
+            self.ticks += 1;
+        }
+    }
+
+    #[test]
+    fn port_io_round_trip() {
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(Scratch::new()), 0x300, 8);
+        bus.outb(0x300, 0xab);
+        bus.outw(0x302, 0x1234);
+        bus.outl(0x304, 0xdead_beef);
+        assert_eq!(bus.inb(0x300), 0xab);
+        assert_eq!(bus.inw(0x302), 0x1234);
+        assert_eq!(bus.inl(0x304), 0xdead_beef);
+        let l = bus.ledger();
+        assert_eq!(l.io_ops(), 6);
+        assert_eq!(l.io_in, [1, 1, 1]);
+        assert_eq!(l.io_out, [1, 1, 1]);
+    }
+
+    #[test]
+    fn offsets_are_claim_relative() {
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(Scratch::new()), 0x23c, 4);
+        bus.outb(0x23e, 7); // offset 2 within the claim
+        assert_eq!(bus.inb(0x23e), 7);
+        assert_eq!(bus.inb(0x23c), 0);
+    }
+
+    #[test]
+    fn mmio_round_trip_and_costs() {
+        let mut bus = Bus::default();
+        bus.attach_mem(Box::new(Scratch::new()), 0xf000_0000, 8);
+        let t0 = bus.now_ns();
+        bus.mem_write(0xf000_0000, 0x55, Width::W8);
+        let t1 = bus.now_ns();
+        bus.mem_read(0xf000_0000, Width::W8);
+        let t2 = bus.now_ns();
+        let c = bus.costs();
+        assert_eq!(t1 - t0, c.mem_write_ns);
+        assert_eq!(t2 - t1, c.mem_read_ns);
+        assert_eq!(bus.ledger().mmio_ops(), 2);
+    }
+
+    #[test]
+    fn unclaimed_reads_float_high() {
+        let mut bus = Bus::default();
+        assert_eq!(bus.inb(0x999), 0xff);
+        assert_eq!(bus.inw(0x999), 0xffff);
+        bus.outb(0x999, 1);
+        assert_eq!(bus.ledger().unclaimed, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unclaimed")]
+    fn strict_mode_panics_on_unclaimed() {
+        let mut bus = Bus::default();
+        bus.set_strict(true);
+        bus.inb(0x1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping I/O claim")]
+    fn overlapping_claims_rejected() {
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(Scratch::new()), 0x300, 8);
+        bus.attach_io(Box::new(Scratch::new()), 0x304, 8);
+    }
+
+    #[test]
+    fn block_transfer_counts_and_costs() {
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(Scratch::new()), 0x1f0, 8);
+        let t0 = bus.now_ns();
+        let mut buf = [0u64; 256];
+        bus.ins(0x1f0, Width::W16, &mut buf);
+        let c = bus.costs();
+        let expect = c.io_block_setup_ns + 256.0 * c.io_block_word_ns;
+        assert!((bus.now_ns() - t0 - expect).abs() < 1e-9);
+        let l = bus.ledger();
+        assert_eq!(l.block_ops, 1);
+        assert_eq!(l.block_in_words, 256);
+        assert_eq!(l.io_ops(), 0, "block words are not single ops");
+        assert_eq!(l.pio_ops(), 256);
+    }
+
+    #[test]
+    fn block_transfer_is_cheaper_than_loop() {
+        let mut bus_block = Bus::default();
+        bus_block.attach_io(Box::new(Scratch::new()), 0x1f0, 8);
+        let mut buf = [0u64; 256];
+        bus_block.ins(0x1f0, Width::W16, &mut buf);
+        let block_time = bus_block.now_ns();
+
+        let mut bus_loop = Bus::default();
+        bus_loop.attach_io(Box::new(Scratch::new()), 0x1f0, 8);
+        for _ in 0..256 {
+            bus_loop.inw(0x1f0);
+        }
+        let loop_time = bus_loop.now_ns();
+        assert!(block_time < loop_time, "{block_time} !< {loop_time}");
+    }
+
+    #[test]
+    fn outs_writes_each_word() {
+        let mut bus = Bus::default();
+        let id = bus.attach_io(Box::new(Scratch::new()), 0, 8);
+        bus.outs(0, Width::W8, &[1, 2, 3]);
+        // Each word overwrites the same port; the device sees the last.
+        assert_eq!(bus.inb(0), 3);
+        assert_eq!(bus.ledger().block_out_words, 3);
+        let _ = id;
+    }
+
+    #[test]
+    fn idle_advances_time_and_ticks_devices() {
+        let mut bus = Bus::default();
+        let id = bus.attach_io(Box::new(Scratch::new()), 0, 8);
+        bus.idle(5_000.0);
+        assert_eq!(bus.now_ns(), 5_000.0);
+        // Downcast via the test-only accessor: tick count advanced.
+        let dev = bus.device_mut(id);
+        assert_eq!(dev.name(), "scratch");
+    }
+
+    #[test]
+    fn dma_charge_accrues() {
+        let mut bus = Bus::default();
+        let t0 = bus.now_ns();
+        bus.charge_dma(512);
+        assert_eq!(bus.ledger().dma_words, 512);
+        assert!(bus.now_ns() > t0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Simulated time and the bus cost model.
+//!
+//! Throughput in the paper's tables is wall-clock-derived; in the
+//! simulator every bus operation advances a virtual clock by a
+//! configurable cost. The *ratios* between driver variants are the
+//! reproduction target, so the defaults are calibrated to a late-90s PC
+//! (ISA-style port I/O around 700 ns, PCI MMIO under 150 ns) to land the
+//! standard drivers near the paper's absolute figures.
+
+/// Per-operation costs in nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// One single port-I/O operation (`inb`/`outb`/`inw`/...). ISA bus
+    /// cycles dominate; width changes the data moved, not the cost.
+    pub io_single_ns: f64,
+    /// Per-word cost inside a block (string) transfer (`rep insw`); the
+    /// CPU does not re-issue instruction fetch/loop overhead per word.
+    pub io_block_word_ns: f64,
+    /// Fixed setup cost of one block transfer instruction.
+    pub io_block_setup_ns: f64,
+    /// One memory-mapped read (PCI read round trip).
+    pub mem_read_ns: f64,
+    /// One memory-mapped write (posted; cheaper than reads).
+    pub mem_write_ns: f64,
+    /// Per-word cost of a device-driven DMA transfer.
+    pub dma_word_ns: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            io_single_ns: 700.0,
+            io_block_word_ns: 430.0,
+            io_block_setup_ns: 300.0,
+            mem_read_ns: 250.0,
+            mem_write_ns: 60.0,
+            dma_word_ns: 60.0,
+        }
+    }
+}
+
+/// The simulated clock. Monotonically advances as the bus (and devices)
+/// charge costs to it.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now_ns: f64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// Advances the clock by `ns` nanoseconds.
+    pub fn advance(&mut self, ns: f64) {
+        debug_assert!(ns >= 0.0, "time cannot go backwards");
+        self.now_ns += ns;
+    }
+
+    /// Elapsed nanoseconds since an earlier reading.
+    pub fn since_ns(&self, earlier_ns: f64) -> f64 {
+        self.now_ns - earlier_ns
+    }
+}
+
+/// Converts `bytes` moved in `ns` nanoseconds to megabytes per second
+/// (decimal MB, matching `hdparm`-style reporting).
+pub fn throughput_mb_s(bytes: u64, ns: f64) -> f64 {
+    if ns <= 0.0 {
+        return 0.0;
+    }
+    (bytes as f64 / 1.0e6) / (ns / 1.0e9)
+}
+
+/// Converts `ops` completed in `ns` nanoseconds to operations/second.
+pub fn rate_per_s(ops: u64, ns: f64) -> f64 {
+    if ns <= 0.0 {
+        return 0.0;
+    }
+    ops as f64 / (ns / 1.0e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now_ns(), 0.0);
+        c.advance(700.0);
+        c.advance(60.0);
+        assert_eq!(c.now_ns(), 760.0);
+        assert_eq!(c.since_ns(700.0), 60.0);
+    }
+
+    #[test]
+    fn throughput_math() {
+        // 1 MB in 0.1 s = 10 MB/s.
+        assert!((throughput_mb_s(1_000_000, 1.0e8) - 10.0).abs() < 1e-9);
+        assert_eq!(throughput_mb_s(100, 0.0), 0.0);
+        // 500 ops in 0.5 s = 1000 ops/s.
+        assert!((rate_per_s(500, 5.0e8) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_costs_are_sane() {
+        let c = CostModel::default();
+        assert!(c.io_single_ns > c.io_block_word_ns, "rep transfers beat loops");
+        assert!(c.mem_read_ns > c.mem_write_ns, "PCI reads cost more than posted writes");
+    }
+}

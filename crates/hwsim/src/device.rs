@@ -1,0 +1,242 @@
+//! The device trait and the shared facilities devices can use.
+//!
+//! The simulator is single-threaded by design — device models are state
+//! machines advanced synchronously by bus accesses — so shared handles
+//! use `Rc<Cell>`/`Rc<RefCell>` rather than atomics.
+
+use crate::width::Width;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+/// A simulated hardware device attached to the bus.
+///
+/// Offsets passed to the access methods are relative to the base of the
+/// claim the device registered with [`crate::Bus::attach_io`] /
+/// [`crate::Bus::attach_mem`].
+pub trait Device {
+    /// A short name for tracing and error messages.
+    fn name(&self) -> &str;
+
+    /// Handles a port read. Devices with no port claim never see this.
+    fn io_read(&mut self, offset: u64, width: Width) -> u64 {
+        let _ = (offset, width);
+        width.ones()
+    }
+
+    /// Handles a port write.
+    fn io_write(&mut self, offset: u64, value: u64, width: Width) {
+        let _ = (offset, value, width);
+    }
+
+    /// Handles a memory-mapped read.
+    fn mem_read(&mut self, offset: u64, width: Width) -> u64 {
+        let _ = (offset, width);
+        width.ones()
+    }
+
+    /// Handles a memory-mapped write.
+    fn mem_write(&mut self, offset: u64, value: u64, width: Width) {
+        let _ = (offset, value, width);
+    }
+
+    /// Advances internal state to simulated time `now_ns`. Called by the
+    /// bus before every access so devices can complete timed operations
+    /// (seeks, FIFO drains) lazily.
+    fn tick(&mut self, now_ns: f64) {
+        let _ = now_ns;
+    }
+}
+
+/// An interrupt request line shared between a device and its driver.
+///
+/// Devices `raise` the line; drivers observe it with [`IrqLine::pending`]
+/// and acknowledge with [`IrqLine::acknowledge`]. This models a
+/// level-triggered line with an edge counter so tests can assert on the
+/// number of interrupts delivered.
+#[derive(Clone, Debug, Default)]
+pub struct IrqLine {
+    inner: Rc<IrqInner>,
+}
+
+#[derive(Debug, Default)]
+struct IrqInner {
+    asserted: Cell<bool>,
+    edges: Cell<u64>,
+}
+
+impl IrqLine {
+    /// Creates an idle line.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Asserts the line (device side). Re-raising an already-asserted
+    /// line is not a new edge.
+    pub fn raise(&self) {
+        if !self.inner.asserted.get() {
+            self.inner.asserted.set(true);
+            self.inner.edges.set(self.inner.edges.get() + 1);
+        }
+    }
+
+    /// Deasserts the line (device side).
+    pub fn clear(&self) {
+        self.inner.asserted.set(false);
+    }
+
+    /// Whether the line is currently asserted.
+    pub fn pending(&self) -> bool {
+        self.inner.asserted.get()
+    }
+
+    /// Driver-side acknowledge: deasserts and returns whether it was
+    /// pending.
+    pub fn acknowledge(&self) -> bool {
+        let was = self.inner.asserted.get();
+        self.inner.asserted.set(false);
+        was
+    }
+
+    /// Total number of rising edges so far.
+    pub fn edge_count(&self) -> u64 {
+        self.inner.edges.get()
+    }
+}
+
+/// System memory shared between the CPU (driver) and DMA-capable
+/// devices.
+#[derive(Clone, Debug, Default)]
+pub struct SharedMem {
+    inner: Rc<RefCell<Vec<u8>>>,
+}
+
+impl SharedMem {
+    /// Allocates `size` bytes of zeroed memory.
+    pub fn new(size: usize) -> Self {
+        SharedMem { inner: Rc::new(RefCell::new(vec![0; size])) }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds (a DMA programming bug in
+    /// the caller; simulators fail fast).
+    pub fn read(&self, addr: usize, buf: &mut [u8]) {
+        let mem = self.inner.borrow();
+        buf.copy_from_slice(&mem[addr..addr + buf.len()]);
+    }
+
+    /// Writes `buf` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write(&self, addr: usize, buf: &[u8]) {
+        let mut mem = self.inner.borrow_mut();
+        mem[addr..addr + buf.len()].copy_from_slice(buf);
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: usize) -> u8 {
+        self.inner.borrow()[addr]
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&self, addr: usize, v: u8) {
+        self.inner.borrow_mut()[addr] = v;
+    }
+
+    /// Fills a range with a byte value.
+    pub fn fill(&self, addr: usize, len: usize, v: u8) {
+        let mut mem = self.inner.borrow_mut();
+        mem[addr..addr + len].fill(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irq_edges_and_ack() {
+        let line = IrqLine::new();
+        assert!(!line.pending());
+        line.raise();
+        line.raise(); // level stays, no second edge
+        assert!(line.pending());
+        assert_eq!(line.edge_count(), 1);
+        assert!(line.acknowledge());
+        assert!(!line.pending());
+        assert!(!line.acknowledge());
+        line.raise();
+        assert_eq!(line.edge_count(), 2);
+        line.clear();
+        assert!(!line.pending());
+    }
+
+    #[test]
+    fn irq_is_shared_between_clones() {
+        let a = IrqLine::new();
+        let b = a.clone();
+        a.raise();
+        assert!(b.pending());
+        b.acknowledge();
+        assert!(!a.pending());
+    }
+
+    #[test]
+    fn shared_mem_round_trip() {
+        let mem = SharedMem::new(64);
+        assert_eq!(mem.len(), 64);
+        mem.write(10, &[1, 2, 3]);
+        let mut out = [0u8; 3];
+        mem.read(10, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+        mem.write_u8(0, 0xaa);
+        assert_eq!(mem.read_u8(0), 0xaa);
+        mem.fill(20, 4, 0x55);
+        assert_eq!(mem.read_u8(23), 0x55);
+    }
+
+    #[test]
+    fn shared_mem_is_shared_between_clones() {
+        let a = SharedMem::new(8);
+        let b = a.clone();
+        a.write_u8(3, 9);
+        assert_eq!(b.read_u8(3), 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn shared_mem_out_of_bounds_panics() {
+        let mem = SharedMem::new(4);
+        mem.write(2, &[0; 4]);
+    }
+
+    #[test]
+    fn default_device_impls() {
+        struct Null;
+        impl Device for Null {
+            fn name(&self) -> &str {
+                "null"
+            }
+        }
+        let mut d = Null;
+        assert_eq!(d.io_read(0, Width::W8), 0xff);
+        assert_eq!(d.mem_read(0, Width::W32), 0xffff_ffff);
+        d.io_write(0, 1, Width::W8);
+        d.mem_write(0, 1, Width::W8);
+        d.tick(5.0);
+    }
+}

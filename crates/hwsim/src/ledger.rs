@@ -1,0 +1,142 @@
+//! The I/O operation ledger.
+//!
+//! The paper's performance tables (2, 3, 4) report the *number of I/O
+//! operations* a driver performs per workload unit. The ledger counts
+//! every bus access by kind so experiment harnesses can report exact
+//! figures and tests can assert on protocol costs.
+
+use crate::width::Width;
+
+/// Cumulative counts of bus operations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Ledger {
+    /// Single port reads, by width.
+    pub io_in: [u64; 3],
+    /// Single port writes, by width.
+    pub io_out: [u64; 3],
+    /// Words moved by block (string) input operations.
+    pub block_in_words: u64,
+    /// Words moved by block (string) output operations.
+    pub block_out_words: u64,
+    /// Number of block transfer instructions issued.
+    pub block_ops: u64,
+    /// Memory-mapped reads.
+    pub mem_read: u64,
+    /// Memory-mapped writes.
+    pub mem_write: u64,
+    /// Words moved by DMA transfers (device-driven).
+    pub dma_words: u64,
+    /// Accesses to unclaimed addresses (driver bugs).
+    pub unclaimed: u64,
+}
+
+fn widx(w: Width) -> usize {
+    match w {
+        Width::W8 => 0,
+        Width::W16 => 1,
+        Width::W32 => 2,
+    }
+}
+
+impl Ledger {
+    /// A fresh all-zero ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn count_in(&mut self, w: Width) {
+        self.io_in[widx(w)] += 1;
+    }
+
+    pub(crate) fn count_out(&mut self, w: Width) {
+        self.io_out[widx(w)] += 1;
+    }
+
+    /// Total single port-I/O operations (reads + writes, all widths).
+    pub fn io_ops(&self) -> u64 {
+        self.io_in.iter().sum::<u64>() + self.io_out.iter().sum::<u64>()
+    }
+
+    /// Total programmed-I/O operations including each block word, which
+    /// is how the paper's Table 2 counts (`#s(1+256)` for 16-bit PIO:
+    /// 256 data-word transfers per sector plus per-sector overhead).
+    pub fn pio_ops(&self) -> u64 {
+        self.io_ops() + self.block_in_words + self.block_out_words
+    }
+
+    /// Total memory-mapped operations.
+    pub fn mmio_ops(&self) -> u64 {
+        self.mem_read + self.mem_write
+    }
+
+    /// All operations of any kind.
+    pub fn total_ops(&self) -> u64 {
+        self.pio_ops() + self.mmio_ops()
+    }
+
+    /// Element-wise difference `self - earlier` (counts are monotonic).
+    pub fn since(&self, earlier: &Ledger) -> Ledger {
+        let sub = |a: u64, b: u64| a.checked_sub(b).expect("ledger went backwards");
+        Ledger {
+            io_in: [
+                sub(self.io_in[0], earlier.io_in[0]),
+                sub(self.io_in[1], earlier.io_in[1]),
+                sub(self.io_in[2], earlier.io_in[2]),
+            ],
+            io_out: [
+                sub(self.io_out[0], earlier.io_out[0]),
+                sub(self.io_out[1], earlier.io_out[1]),
+                sub(self.io_out[2], earlier.io_out[2]),
+            ],
+            block_in_words: sub(self.block_in_words, earlier.block_in_words),
+            block_out_words: sub(self.block_out_words, earlier.block_out_words),
+            block_ops: sub(self.block_ops, earlier.block_ops),
+            mem_read: sub(self.mem_read, earlier.mem_read),
+            mem_write: sub(self.mem_write, earlier.mem_write),
+            dma_words: sub(self.dma_words, earlier.dma_words),
+            unclaimed: sub(self.unclaimed, earlier.unclaimed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_totals() {
+        let mut l = Ledger::new();
+        l.count_in(Width::W8);
+        l.count_in(Width::W8);
+        l.count_out(Width::W16);
+        l.block_in_words += 256;
+        l.block_ops += 1;
+        l.mem_write += 3;
+        assert_eq!(l.io_ops(), 3);
+        assert_eq!(l.pio_ops(), 259);
+        assert_eq!(l.mmio_ops(), 3);
+        assert_eq!(l.total_ops(), 262);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut l = Ledger::new();
+        l.count_in(Width::W8);
+        let snap = l;
+        l.count_in(Width::W8);
+        l.count_out(Width::W32);
+        let d = l.since(&snap);
+        assert_eq!(d.io_in[0], 1);
+        assert_eq!(d.io_out[2], 1);
+        assert_eq!(d.io_ops(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ledger went backwards")]
+    fn since_panics_on_reversed_snapshots() {
+        let mut l = Ledger::new();
+        l.count_in(Width::W8);
+        let later = l;
+        Ledger::new().since(&later);
+    }
+}

@@ -1,0 +1,78 @@
+//! Access widths for port and memory operations.
+
+use std::fmt;
+
+/// The width of a single bus access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum Width {
+    /// 8-bit access (`inb`/`outb`).
+    W8,
+    /// 16-bit access (`inw`/`outw`).
+    W16,
+    /// 32-bit access (`inl`/`outl`).
+    W32,
+}
+
+impl Width {
+    /// Number of bytes moved by one access of this width.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W8 => 1,
+            Width::W16 => 2,
+            Width::W32 => 4,
+        }
+    }
+
+    /// Number of bits moved by one access of this width.
+    pub fn bits(self) -> u32 {
+        self.bytes() as u32 * 8
+    }
+
+    /// The all-ones value of this width (floating-bus read result).
+    pub fn ones(self) -> u64 {
+        match self {
+            Width::W8 => 0xff,
+            Width::W16 => 0xffff,
+            Width::W32 => 0xffff_ffff,
+        }
+    }
+
+    /// Truncates `v` to this width.
+    pub fn truncate(self, v: u64) -> u64 {
+        v & self.ones()
+    }
+
+    /// The width needed for an access of `bits` bits, if standard.
+    pub fn from_bits(bits: u32) -> Option<Width> {
+        match bits {
+            8 => Some(Width::W8),
+            16 => Some(Width::W16),
+            32 => Some(Width::W32),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(Width::W8.bytes(), 1);
+        assert_eq!(Width::W16.bytes(), 2);
+        assert_eq!(Width::W32.bytes(), 4);
+        assert_eq!(Width::W16.bits(), 16);
+        assert_eq!(Width::W8.ones(), 0xff);
+        assert_eq!(Width::W32.truncate(0x1_2345_6789), 0x2345_6789);
+        assert_eq!(Width::from_bits(16), Some(Width::W16));
+        assert_eq!(Width::from_bits(24), None);
+        assert_eq!(Width::W32.to_string(), "32");
+    }
+}

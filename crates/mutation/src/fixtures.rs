@@ -1,0 +1,266 @@
+//! Driver-code fixtures for the mutation analysis (Table 1).
+//!
+//! For each device there are two C fragments: the hand-crafted
+//! hardware-operating code (transcribed from the original Linux 2.2
+//! drivers, tagged the way the paper tags mutable regions) and the
+//! `CDevil` fragment — the same logic written against the generated
+//! Devil interface.
+
+/// Hand-crafted busmouse fragment (the paper's Figure 2, completed).
+pub const BUSMOUSE_C: &str = r#"
+/*DEVIL:BEGIN*/
+#define MSE_DATA_PORT 0x23c
+#define MSE_SIGNATURE_PORT 0x23d
+#define MSE_CONTROL_PORT 0x23e
+#define MSE_CONFIG_PORT 0x23f
+#define MSE_READ_X_LOW 0x80
+#define MSE_READ_X_HIGH 0xa0
+#define MSE_READ_Y_LOW 0xc0
+#define MSE_READ_Y_HIGH 0xe0
+#define MSE_INT_ENABLE 0x00
+#define MSE_INT_DISABLE 0x10
+#define MSE_CONFIG_BYTE 0x91
+#define MSE_SIGNATURE_BYTE 0xa5
+int dx;
+int dy;
+int buttons;
+int sig;
+outb(MSE_CONFIG_BYTE, MSE_CONFIG_PORT);
+sig = inb(MSE_SIGNATURE_PORT);
+outb(MSE_READ_X_LOW, MSE_CONTROL_PORT);
+dx = (inb(MSE_DATA_PORT) & 0xf);
+outb(MSE_READ_X_HIGH, MSE_CONTROL_PORT);
+dx |= (inb(MSE_DATA_PORT) & 0xf) << 4;
+outb(MSE_READ_Y_LOW, MSE_CONTROL_PORT);
+dy = (inb(MSE_DATA_PORT) & 0xf);
+outb(MSE_READ_Y_HIGH, MSE_CONTROL_PORT);
+buttons = inb(MSE_DATA_PORT);
+dy |= (buttons & 0xf) << 4;
+buttons = ((buttons >> 5) & 0x07);
+outb(MSE_INT_ENABLE, MSE_CONTROL_PORT);
+outb(MSE_INT_DISABLE, MSE_CONTROL_PORT);
+/*DEVIL:END*/
+"#;
+
+/// The busmouse fragment over the generated interface (Figure 3).
+pub const BUSMOUSE_CDEVIL: &str = r#"
+/*DEVIL:BEGIN*/
+int dx;
+int dy;
+int buttons;
+int sig;
+bm_set_config(bm_CONFIG_CONFIGURATION);
+sig = bm_get_signature();
+bm_get_mouse_state();
+dx = bm_get_dx();
+dy = bm_get_dy();
+buttons = bm_get_buttons();
+bm_set_interrupt(bm_INTERRUPT_ENABLE);
+bm_set_interrupt(bm_INTERRUPT_DISABLE);
+/*DEVIL:END*/
+"#;
+
+/// Hand-crafted IDE PIO-read fragment (Linux 2.2 `ide.c` style).
+pub const IDE_C: &str = r#"
+/*DEVIL:BEGIN*/
+#define IDE_DATA 0x1f0
+#define IDE_ERROR 0x1f1
+#define IDE_NSECTOR 0x1f2
+#define IDE_SECTOR 0x1f3
+#define IDE_LCYL 0x1f4
+#define IDE_HCYL 0x1f5
+#define IDE_SELECT 0x1f6
+#define IDE_STATUS 0x1f7
+#define IDE_COMMAND 0x1f7
+#define WIN_READ 0x20
+#define WIN_MULTREAD 0xc4
+#define WIN_SETMULT 0xc6
+#define STAT_BUSY 0x80
+#define STAT_READY 0x40
+#define STAT_DRQ 0x08
+#define STAT_ERR 0x01
+#define SECTOR_WORDS 256
+int stat;
+int lba;
+int nsect;
+int timeout;
+unsigned buffer;
+stat = inb(IDE_STATUS);
+while (stat & STAT_BUSY) { stat = inb(IDE_STATUS); }
+outb(nsect, IDE_NSECTOR);
+outb(lba & 0xff, IDE_SECTOR);
+outb((lba >> 8) & 0xff, IDE_LCYL);
+outb((lba >> 16) & 0xff, IDE_HCYL);
+outb(0x40 | ((lba >> 24) & 0x0f), IDE_SELECT);
+outb(WIN_READ, IDE_COMMAND);
+stat = inb(IDE_STATUS);
+if (stat & STAT_ERR) { stat = inb(IDE_ERROR); }
+while (stat & STAT_DRQ) {
+    insw(IDE_DATA, buffer, SECTOR_WORDS);
+    stat = inb(IDE_STATUS);
+}
+outb(8, IDE_NSECTOR);
+outb(WIN_SETMULT, IDE_COMMAND);
+stat = inb(IDE_STATUS);
+outb(WIN_MULTREAD, IDE_COMMAND);
+/*DEVIL:END*/
+"#;
+
+/// The IDE fragment over the generated interface.
+pub const IDE_CDEVIL: &str = r#"
+/*DEVIL:BEGIN*/
+int lba;
+int nsect;
+int stat;
+unsigned buffer;
+while (ide_get_bsy()) { }
+ide_set_features(0);
+ide_set_sector_count(nsect);
+ide_set_lba_low(lba & 0xff);
+ide_set_lba_mid((lba >> 8) & 0xff);
+ide_set_lba_high((lba >> 16) & 0xff);
+ide_set_lba_top((lba >> 24) & 0x0f);
+ide_set_drive(ide_DRIVE_MASTER);
+ide_set_command(ide_COMMAND_READ_SECTORS);
+while (ide_get_drq()) {
+    ide_get_Ide_data_block(buffer, 256);
+    if (ide_get_err()) { stat = ide_get_bsy(); }
+}
+ide_set_sector_count(8);
+ide_set_command(ide_COMMAND_SET_MULTIPLE);
+ide_set_command(ide_COMMAND_READ_MULTIPLE);
+/*DEVIL:END*/
+"#;
+
+/// Hand-crafted NE2000 transmit/receive fragment (Linux `ne.c` style).
+pub const NE2000_C: &str = r#"
+/*DEVIL:BEGIN*/
+#define NE_BASE 0x300
+#define E8390_CMD 0x300
+#define EN0_STARTPG 0x301
+#define EN0_STOPPG 0x302
+#define EN0_BOUNDARY 0x303
+#define EN0_TPSR 0x304
+#define EN0_TCNTLO 0x305
+#define EN0_TCNTHI 0x306
+#define EN0_ISR 0x307
+#define EN0_RSARLO 0x308
+#define EN0_RSARHI 0x309
+#define EN0_RCNTLO 0x30a
+#define EN0_RCNTHI 0x30b
+#define EN0_RXCR 0x30c
+#define EN0_TXCR 0x30d
+#define EN0_DCFG 0x30e
+#define EN0_IMR 0x30f
+#define NE_DATAPORT 0x310
+#define E8390_STOP 0x01
+#define E8390_START 0x02
+#define E8390_TRANS 0x04
+#define E8390_RREAD 0x08
+#define E8390_RWRITE 0x10
+#define E8390_NODMA 0x20
+#define ENISR_RX 0x01
+#define ENISR_TX 0x02
+#define ENISR_RDC 0x40
+#define NESM_START_PG 0x40
+#define NESM_RX_START_PG 0x46
+#define NESM_STOP_PG 0x80
+int count;
+int isr;
+int frame;
+unsigned buf;
+outb(E8390_NODMA | E8390_STOP, E8390_CMD);
+outb(0x49, EN0_DCFG);
+outb(NESM_RX_START_PG, EN0_STARTPG);
+outb(NESM_STOP_PG, EN0_STOPPG);
+outb(NESM_RX_START_PG, EN0_BOUNDARY);
+outb(ENISR_RX | ENISR_TX, EN0_IMR);
+outb(E8390_START, E8390_CMD);
+outb(count & 0xff, EN0_RCNTLO);
+outb(count >> 8, EN0_RCNTHI);
+outb(0x00, EN0_RSARLO);
+outb(NESM_START_PG, EN0_RSARHI);
+outb(E8390_RWRITE | E8390_START, E8390_CMD);
+outsw(NE_DATAPORT, buf, count >> 1);
+isr = inb(EN0_ISR);
+while ((isr & ENISR_RDC) == 0) { isr = inb(EN0_ISR); }
+outb(ENISR_RDC, EN0_ISR);
+outb(NESM_START_PG, EN0_TPSR);
+outb(count & 0xff, EN0_TCNTLO);
+outb(count >> 8, EN0_TCNTHI);
+outb(E8390_NODMA | E8390_TRANS | E8390_START, E8390_CMD);
+isr = inb(EN0_ISR);
+if (isr & ENISR_RX) {
+    frame = inb(EN0_BOUNDARY);
+    outb(4, EN0_RCNTLO);
+    outb(0, EN0_RCNTHI);
+    outb(0, EN0_RSARLO);
+    outb(frame, EN0_RSARHI);
+    outb(E8390_RREAD | E8390_START, E8390_CMD);
+    insw(NE_DATAPORT, buf, 2);
+    outb(ENISR_RX, EN0_ISR);
+}
+/*DEVIL:END*/
+"#;
+
+/// The NE2000 fragment over the generated interface.
+pub const NE2000_CDEVIL: &str = r#"
+/*DEVIL:BEGIN*/
+int count;
+int frame;
+unsigned buf;
+ne_set_st(ne_ST_STP);
+ne_set_data_config(0x49);
+ne_set_pstart(0x46);
+ne_set_pstop(0x80);
+ne_set_bnry(0x46);
+ne_set_int_mask(0x03);
+ne_set_st(ne_ST_STA);
+ne_set_rbcr(count);
+ne_set_rsar(0x4000);
+ne_set_rd(ne_RD_RWRITE);
+ne_set_remote_data_block(buf, count >> 1);
+while (ne_get_rdc() == 0) { }
+ne_set_rdc(1);
+ne_set_tpsr(0x40);
+ne_set_tbcr(count);
+ne_set_txp(ne_TXP_SEND);
+if (ne_get_prx()) {
+    frame = ne_get_bnry();
+    ne_set_rbcr(4);
+    ne_set_rsar(frame << 8);
+    ne_set_rd(ne_RD_RREAD);
+    ne_get_remote_data_block(buf, 2);
+    ne_set_prx(1);
+}
+/*DEVIL:END*/
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minic::{check, CVerdict};
+
+    #[test]
+    fn c_fixtures_compile_under_minic() {
+        for (name, src) in [("busmouse", BUSMOUSE_C), ("ide", IDE_C), ("ne2000", NE2000_C)] {
+            let v = check(src, &[]);
+            assert_eq!(v, CVerdict::Ok, "{name} fixture rejected: {v:?}");
+        }
+    }
+
+    #[test]
+    fn cdevil_fixtures_compile_with_stub_externs() {
+        for (name, src, prefix, spec) in [
+            ("busmouse", BUSMOUSE_CDEVIL, "bm", crate::engine::SPEC_BUSMOUSE),
+            ("ide", IDE_CDEVIL, "ide", crate::engine::SPEC_IDE),
+            ("ne2000", NE2000_CDEVIL, "ne", crate::engine::SPEC_NE2000),
+        ] {
+            let externs = crate::engine::stub_externs(spec, prefix);
+            let ext: Vec<(&str, Option<usize>)> =
+                externs.iter().map(|(n, a)| (n.as_str(), *a)).collect();
+            let v = check(src, &ext);
+            assert_eq!(v, CVerdict::Ok, "{name} CDevil fixture rejected: {v:?}");
+        }
+    }
+}

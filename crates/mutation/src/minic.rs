@@ -1,0 +1,455 @@
+//! A miniature C front end that models what a C compiler detects.
+//!
+//! Mutation detection only depends on the static semantics a compiler
+//! enforces. For the hardware-operating fragments of drivers that is:
+//! lexical well-formedness, balanced structure, expression grammar,
+//! declared identifiers, and known-function arities. C's permissiveness
+//! (any integer is a valid constant, most operator substitutions stay
+//! type-correct) is exactly why the paper finds its error-detection
+//! coverage low.
+
+use std::collections::HashMap;
+
+/// Functions every driver fragment may call, with their arities.
+const BUILTINS: &[(&str, usize)] = &[
+    ("inb", 1),
+    ("outb", 2),
+    ("inw", 1),
+    ("outw", 2),
+    ("inl", 1),
+    ("outl", 2),
+    ("insw", 3),
+    ("outsw", 3),
+    ("insl", 3),
+    ("outsl", 3),
+];
+
+/// A token of the C subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CTok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer constant (value unchecked beyond lexical validity).
+    Num,
+    /// An operator or punctuation lexeme.
+    Op(String),
+}
+
+/// Lexes C-subset source; `Err` on lexical errors (bad number, unknown
+/// character, unterminated comment).
+pub fn lex(src: &str) -> Result<Vec<CTok>, String> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' | b'\\' => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(format!("unterminated comment at {start}"));
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let hex = c == b'0' && matches!(b.get(i + 1), Some(b'x') | Some(b'X'));
+                if hex {
+                    i += 2;
+                    let ds = i;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == ds {
+                        return Err("hex constant with no digits".into());
+                    }
+                } else {
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Integer suffixes.
+                while i < b.len() && matches!(b[i], b'u' | b'U' | b'l' | b'L') {
+                    i += 1;
+                }
+                // A trailing identifier character makes it malformed
+                // (e.g. `0xfg`, `12ab`).
+                if i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    return Err(format!(
+                        "malformed constant `{}`",
+                        &src[start..=i.min(src.len() - 1)]
+                    ));
+                }
+                out.push(CTok::Num);
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(CTok::Ident(src[start..i].to_string()));
+            }
+            _ => {
+                // Multi-char operators first.
+                let rest = &src[i..];
+                const OPS: &[&str] = &[
+                    "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
+                    "*=", "/=", "|=", "&=", "^=", "->", "++", "--", "%=",
+                ];
+                if let Some(op) = OPS.iter().find(|op| rest.starts_with(**op)) {
+                    out.push(CTok::Op((*op).to_string()));
+                    i += op.len();
+                } else if b"+-*/%&|^~!<>=(){}[];,.#?:".contains(&c) {
+                    out.push(CTok::Op((c as char).to_string()));
+                    i += 1;
+                } else {
+                    return Err(format!("unknown character `{}`", c as char));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The result of checking a fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CVerdict {
+    /// The compiler accepts the fragment.
+    Ok,
+    /// The compiler rejects it, with a reason.
+    Error(String),
+}
+
+impl CVerdict {
+    /// Whether the verdict is an error (mutation detected).
+    pub fn is_error(&self) -> bool {
+        matches!(self, CVerdict::Error(_))
+    }
+}
+
+/// Checks a hardware-operating C fragment.
+///
+/// `externs` are identifiers the surrounding driver declares (variables
+/// and stub functions with arities; `None` arity = object).
+pub fn check(src: &str, externs: &[(&str, Option<usize>)]) -> CVerdict {
+    let toks = match lex(src) {
+        Ok(t) => t,
+        Err(e) => return CVerdict::Error(format!("lex: {e}")),
+    };
+    let mut funcs: HashMap<String, usize> =
+        BUILTINS.iter().map(|(n, a)| (n.to_string(), *a)).collect();
+    let mut objects: Vec<String> = vec![
+        // C keywords and common driver types usable in the fragments.
+        "int", "unsigned", "char", "long", "short", "signed", "void", "if", "else", "while",
+        "for", "return", "static", "volatile", "do", "break", "continue", "define", "include",
+        "u8", "u16", "u32",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    for (n, a) in externs {
+        match a {
+            Some(arity) => {
+                funcs.insert((*n).to_string(), *arity);
+            }
+            None => objects.push((*n).to_string()),
+        }
+    }
+
+    // Pass 1: collect #define names and declarations.
+    let mut i = 0;
+    while i < toks.len() {
+        match (&toks[i], toks.get(i + 1), toks.get(i + 2)) {
+            (CTok::Op(h), Some(CTok::Ident(d)), Some(CTok::Ident(name)))
+                if h == "#" && d == "define" =>
+            {
+                // Function-like macro?
+                if let Some(CTok::Op(p)) = toks.get(i + 3) {
+                    if p == "(" {
+                        // Count parameters until `)`.
+                        let mut arity = 0;
+                        let mut j = i + 4;
+                        let mut saw_param = false;
+                        while j < toks.len() {
+                            match &toks[j] {
+                                CTok::Op(op) if op == ")" => break,
+                                CTok::Op(op) if op == "," => {}
+                                CTok::Ident(p) => {
+                                    if !saw_param {
+                                        arity += 1;
+                                        saw_param = true;
+                                        objects.push(p.clone());
+                                    }
+                                }
+                                _ => {}
+                            }
+                            if let CTok::Op(op) = &toks[j] {
+                                if op == "," {
+                                    saw_param = false;
+                                }
+                            }
+                            j += 1;
+                        }
+                        funcs.insert(name.clone(), arity);
+                        i = j;
+                        continue;
+                    }
+                }
+                objects.push(name.clone());
+                i += 3;
+                continue;
+            }
+            (CTok::Ident(ty), Some(CTok::Ident(name)), _)
+                if matches!(
+                    ty.as_str(),
+                    "int" | "unsigned" | "char" | "long" | "short" | "u8" | "u16" | "u32"
+                ) =>
+            {
+                objects.push(name.clone());
+                i += 2;
+                continue;
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Pass 2: structural and reference checks.
+    let mut depth_paren = 0i32;
+    let mut depth_brace = 0i32;
+    let mut prev_kind = PrevKind::Start;
+    let mut i = 0;
+    while i < toks.len() {
+        // `#define NAME(params)` headers: jump to the macro body.
+        if matches!(&toks[i], CTok::Op(h) if h == "#")
+            && matches!(toks.get(i + 1), Some(CTok::Ident(d)) if d == "define")
+            && matches!(toks.get(i + 2), Some(CTok::Ident(_)))
+            && matches!(toks.get(i + 3), Some(CTok::Op(p)) if p == "(")
+        {
+            let mut j = i + 4;
+            let mut d = 1;
+            while j < toks.len() && d > 0 {
+                match &toks[j] {
+                    CTok::Op(p) if p == "(" => d += 1,
+                    CTok::Op(p) if p == ")" => d -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+            prev_kind = PrevKind::Op;
+            continue;
+        }
+        match &toks[i] {
+            CTok::Ident(name) => {
+                // Keywords start declarations/statements: they reset
+                // the expression state (we do not track newlines, so a
+                // macro body is ended by the next keyword or `#`).
+                if matches!(
+                    name.as_str(),
+                    "int" | "unsigned" | "char" | "long" | "short" | "signed" | "void" | "if"
+                        | "else" | "while" | "for" | "return" | "static" | "volatile" | "do"
+                        | "break" | "continue" | "define" | "include" | "u8" | "u16" | "u32"
+                ) {
+                    prev_kind = PrevKind::Op;
+                    i += 1;
+                    continue;
+                }
+                // Skip the name position in `#define NAME` / decls —
+                // already collected; referencing is what we check.
+                let is_decl_name = i >= 1
+                    && matches!(&toks[i - 1], CTok::Ident(t) if matches!(
+                        t.as_str(),
+                        "int" | "unsigned" | "char" | "long" | "short" | "u8" | "u16" | "u32" | "define"
+                    ));
+                let is_call = matches!(toks.get(i + 1), Some(CTok::Op(p)) if p == "(");
+                if is_call {
+                    if let Some(&arity) = funcs.get(name) {
+                        // Count arguments.
+                        let mut j = i + 2;
+                        let mut d = 1;
+                        let mut args = 0;
+                        let mut any = false;
+                        while j < toks.len() && d > 0 {
+                            match &toks[j] {
+                                CTok::Op(p) if p == "(" => d += 1,
+                                CTok::Op(p) if p == ")" => d -= 1,
+                                CTok::Op(p) if p == "," && d == 1 => args += 1,
+                                _ => any = true,
+                            }
+                            j += 1;
+                        }
+                        let total = if any || args > 0 { args + 1 } else { 0 };
+                        if total != arity {
+                            return CVerdict::Error(format!(
+                                "call to `{name}` with {total} argument(s), expected {arity}"
+                            ));
+                        }
+                    } else if !objects.contains(name) {
+                        return CVerdict::Error(format!("implicit declaration of `{name}`"));
+                    }
+                } else if !is_decl_name && !objects.contains(name) && !funcs.contains_key(name) {
+                    return CVerdict::Error(format!("`{name}` undeclared"));
+                }
+                // Two adjacent value tokens (ident ident) outside decls
+                // are a syntax error.
+                if prev_kind == PrevKind::Value && !is_decl_name_context(&toks, i) {
+                    return CVerdict::Error("expected operator between expressions".into());
+                }
+                // A declarator (after `int`, `#define`, ...) is not a
+                // value: the macro body / initializer follows directly.
+                prev_kind = if is_decl_name_context(&toks, i) {
+                    PrevKind::Op
+                } else {
+                    PrevKind::Value
+                };
+            }
+            CTok::Num => {
+                if prev_kind == PrevKind::Value {
+                    return CVerdict::Error("expected operator before constant".into());
+                }
+                prev_kind = PrevKind::Value;
+            }
+            CTok::Op(op) => {
+                match op.as_str() {
+                    "(" => depth_paren += 1,
+                    ")" => depth_paren -= 1,
+                    "{" => depth_brace += 1,
+                    "}" => depth_brace -= 1,
+                    _ => {}
+                }
+                if depth_paren < 0 || depth_brace < 0 {
+                    return CVerdict::Error("unbalanced delimiter".into());
+                }
+                // Binary operators need a value on the left (unary +-,
+                // !, ~, *, & are fine anywhere).
+                let binary_only = matches!(
+                    op.as_str(),
+                    "/" | "%" | "<<" | ">>" | "<=" | ">=" | "==" | "!=" | "&&" | "||" | "^"
+                        | "," | "?" | ":"
+                );
+                if binary_only && prev_kind != PrevKind::Value {
+                    return CVerdict::Error(format!("misplaced operator `{op}`"));
+                }
+                prev_kind = match op.as_str() {
+                    ")" | "]" | "++" | "--" => PrevKind::Value,
+                    _ => PrevKind::Op,
+                };
+            }
+        }
+        i += 1;
+    }
+    if depth_paren != 0 || depth_brace != 0 {
+        return CVerdict::Error("unbalanced delimiters at end of input".into());
+    }
+    CVerdict::Ok
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum PrevKind {
+    Start,
+    Value,
+    Op,
+}
+
+fn is_decl_name_context(toks: &[CTok], i: usize) -> bool {
+    i >= 1
+        && matches!(&toks[i - 1], CTok::Ident(t) if matches!(
+            t.as_str(),
+            "int" | "unsigned" | "char" | "long" | "short" | "signed" | "u8" | "u16" | "u32"
+                | "define" | "static" | "volatile" | "else" | "return" | "include"
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_figure_2_fragment() {
+        let src = r#"
+            #define MSE_DATA_PORT 0x23c
+            #define MSE_CONTROL_PORT 0x23e
+            #define MSE_READ_Y_LOW 0xc0
+            #define MSE_READ_Y_HIGH 0xe0
+            int dy;
+            int buttons;
+            dy = (inb(MSE_DATA_PORT) & 0xf);
+            outb(MSE_READ_Y_HIGH, MSE_CONTROL_PORT);
+            buttons = inb(MSE_DATA_PORT);
+            dy |= (buttons & 0xf) << 4;
+            buttons = ((buttons >> 5) & 0x07);
+        "#;
+        assert_eq!(check(src, &[]), CVerdict::Ok);
+    }
+
+    #[test]
+    fn rejects_undeclared_identifier() {
+        let v = check("int dy; dy = dz + 1;", &[]);
+        assert!(v.is_error(), "{v:?}");
+    }
+
+    #[test]
+    fn rejects_implicit_function() {
+        let v = check("int x; x = imb(0x23c);", &[]);
+        assert!(v.is_error(), "{v:?}");
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let v = check("outb(1);", &[]);
+        assert!(v.is_error(), "{v:?}");
+        let v2 = check("int x; x = inb(1, 2);", &[]);
+        assert!(v2.is_error(), "{v2:?}");
+    }
+
+    #[test]
+    fn rejects_bad_constants() {
+        assert!(check("int x; x = 0xg;", &[]).is_error());
+        assert!(check("int x; x = 12ab;", &[]).is_error());
+        assert!(check("int x; x = 0x;", &[]).is_error());
+    }
+
+    #[test]
+    fn rejects_unbalanced_and_misplaced() {
+        assert!(check("int x; x = (1 + 2;", &[]).is_error());
+        assert!(check("int x; x = 1 + + == 2;", &[]).is_error());
+        assert!(check("int x; x = 1 2;", &[]).is_error());
+    }
+
+    #[test]
+    fn accepts_semantically_wrong_but_valid_code() {
+        // The permissiveness the paper measures: wrong constants and
+        // operator swaps compile silently.
+        assert_eq!(check("int x; x = inb(0x23d) & 0xe;", &[]), CVerdict::Ok);
+        assert_eq!(check("int x; x = 1 | 2;", &[]), CVerdict::Ok);
+        assert_eq!(check("int x; x = 1 || 2;", &[]), CVerdict::Ok);
+    }
+
+    #[test]
+    fn externs_extend_the_symbol_table() {
+        assert!(check("bm_get_dy();", &[]).is_error());
+        assert_eq!(check("bm_get_dy();", &[("bm_get_dy", Some(0))]), CVerdict::Ok);
+        assert_eq!(check("int a; a = REG;", &[("REG", None)]), CVerdict::Ok);
+    }
+
+    #[test]
+    fn function_like_macros_get_arities() {
+        let src = "#define RD(p) inb(p)\nint x; x = RD(3);";
+        assert_eq!(check(src, &[]), CVerdict::Ok);
+        let bad = "#define RD(p) inb(p)\nint x; x = RD();";
+        assert!(check(bad, &[]).is_error());
+    }
+}

@@ -1,0 +1,69 @@
+//! The paper's motivating scenario end to end: a bus-mouse driver
+//! tracking motion, comparing the hand-crafted (Figure 2) and Devil
+//! (Figure 3) drivers on identical simulated hardware.
+//!
+//! Run with `cargo run --example mouse_tracker`.
+
+use devil::devices::Busmouse;
+use devil::drivers::{DevilBusmouse, HandBusmouse};
+use devil::hwsim::{Bus, IrqLine};
+
+const BASE: u64 = 0x23c;
+
+fn rig(moves: &[(i8, i8, u8)]) -> (Bus, IrqLine) {
+    let irq = IrqLine::new();
+    let bus = Bus::default();
+    let mut dev = Busmouse::new(irq.clone());
+    // Pre-load the first motion; the rest are applied between reads in
+    // a real session — here we replay one sample per read.
+    if let Some(&(dx, dy, b)) = moves.first() {
+        dev.move_by(dx, dy);
+        dev.set_buttons(b);
+    }
+    let mut bus = bus;
+    bus.attach_io(Box::new(dev), BASE, 4);
+    (bus, irq)
+}
+
+fn main() {
+    let samples: Vec<(i8, i8, u8)> =
+        vec![(5, -3, 0b001), (12, 7, 0b000), (-8, 2, 0b101), (0, -1, 0b100)];
+
+    println!("replaying {} motion samples through both drivers\n", samples.len());
+    let mut cursor_hand = (0i32, 0i32);
+    let mut cursor_devil = (0i32, 0i32);
+
+    for &(dx, dy, buttons) in &samples {
+        // Hand-crafted driver.
+        let (mut bus_h, _) = rig(&[(dx, dy, buttons)]);
+        let hand = HandBusmouse::new(BASE);
+        assert_eq!(hand.signature(&mut bus_h), Busmouse::SIGNATURE);
+        let s = hand.read_state(&mut bus_h);
+        cursor_hand.0 += s.dx as i32;
+        cursor_hand.1 += s.dy as i32;
+        let ops_hand = bus_h.ledger().io_ops();
+
+        // Devil driver with debug checks on.
+        let (mut bus_d, _) = rig(&[(dx, dy, buttons)]);
+        let mut devil = DevilBusmouse::new(BASE);
+        devil.set_debug_checks(true);
+        let t = devil.read_state(&mut bus_d);
+        cursor_devil.0 += t.dx as i32;
+        cursor_devil.1 += t.dy as i32;
+        let ops_devil = bus_d.ledger().io_ops();
+
+        println!(
+            "sample (dx {dx:>4}, dy {dy:>4}, buttons {buttons:03b}): hand -> {:?} [{} ops], devil -> {:?} [{} ops]",
+            (s.dx, s.dy, s.buttons),
+            ops_hand - 1, // minus the signature probe
+            (t.dx, t.dy, t.buttons),
+            ops_devil
+        );
+        assert_eq!((s.dx, s.dy, s.buttons), (t.dx, t.dy, t.buttons));
+    }
+
+    println!("\nfinal cursor (hand)  = {cursor_hand:?}");
+    println!("final cursor (devil) = {cursor_devil:?}");
+    assert_eq!(cursor_hand, cursor_devil);
+    println!("drivers agree; Devil stubs cost the same 8 I/O operations per sample");
+}

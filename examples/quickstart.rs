@@ -1,0 +1,91 @@
+//! Quickstart: compile a Devil specification, verify it, and drive a
+//! simulated device through the generated-interface semantics.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use devil::runtime::{DeviceInstance, MappedPort, PortMap};
+use devil::hwsim::{Bus, Device, Width};
+
+/// A three-register toy device: a status byte, a control byte, and a
+/// data byte behind an index bit.
+struct Toy {
+    control: u8,
+    data: [u8; 2],
+}
+
+impl Device for Toy {
+    fn name(&self) -> &str {
+        "toy"
+    }
+    fn io_read(&mut self, offset: u64, _w: Width) -> u64 {
+        match offset {
+            0 => 0b0100_0001, // ready | version 1
+            2 => self.data[(self.control & 1) as usize] as u64,
+            _ => 0xff,
+        }
+    }
+    fn io_write(&mut self, offset: u64, value: u64, _w: Width) {
+        match offset {
+            1 => self.control = value as u8,
+            2 => self.data[(self.control & 1) as usize] = value as u8,
+            _ => {}
+        }
+    }
+}
+
+const SPEC: &str = r#"
+device toy (base : bit[8] port @ {0..2}) {
+  // Status: ready flag and a version field.
+  register status = read base @ 0, mask '.***...*' : bit[8];
+  variable ready = status[0], volatile : bool;
+  variable version = status[6..4], volatile : int(3);
+
+  // Control: an index bit selecting one of two data cells.
+  register control = write base @ 1, mask '0000000*' : bit[8];
+  private variable index = control[0] : int{0..1};
+
+  // Two data registers behind the same port, addressed by pre-actions.
+  register d0 = base @ 2, pre {index = 0} : bit[8];
+  register d1 = base @ 2, pre {index = 1} : bit[8];
+  variable cell0 = d0, volatile : int(8);
+  variable cell1 = d1, volatile : int(8);
+}
+"#;
+
+fn main() {
+    // 1. Compile and verify the specification.
+    let model = devil::sema::check_source(SPEC, &[]).expect("specification is consistent");
+    println!(
+        "checked `{}`: {} registers, {} variables",
+        model.name,
+        model.registers.len(),
+        model.variables.len()
+    );
+
+    // 2. Generate the C stubs the paper's compiler would emit.
+    let header = devil::codegen::emit_c(&devil::ir::lower(&model), "toy");
+    println!("\n--- generated C stubs (excerpt) ---");
+    for line in header.lines().filter(|l| l.contains("#define toy_")).take(6) {
+        println!("{line}");
+    }
+
+    // 3. Drive the simulated device through the interface.
+    let mut bus = Bus::default();
+    bus.attach_io(Box::new(Toy { control: 0, data: [0; 2] }), 0x40, 3);
+    let mut iface = DeviceInstance::new(devil::ir::lower(&model));
+    iface.set_debug_checks(true);
+
+    let mut ports = PortMap::new(&mut bus, vec![MappedPort::io(0x40)]);
+    let ready = iface.read(&mut ports, "ready").unwrap();
+    let version = iface.read(&mut ports, "version").unwrap();
+    iface.write(&mut ports, "cell0", 0xaa).unwrap();
+    iface.write(&mut ports, "cell1", 0x55).unwrap();
+    let c0 = iface.read(&mut ports, "cell0").unwrap();
+    let c1 = iface.read(&mut ports, "cell1").unwrap();
+
+    println!("\nready = {ready}, version = {version}");
+    println!("cell0 = {c0:#x}, cell1 = {c1:#x}");
+    println!("total port operations: {}", bus.ledger().io_ops());
+    assert_eq!((c0, c1), (0xaa, 0x55));
+    println!("ok");
+}

@@ -1,0 +1,51 @@
+//! Checks every specification in `specs/` (or the files passed on the
+//! command line) and prints the verifier's findings — the paper's
+//! "verification of Devil specifications" workflow as a lint tool.
+//!
+//! Run with `cargo run --example spec_lint [files...]`.
+
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let files: Vec<PathBuf> = if args.is_empty() {
+        let mut v: Vec<PathBuf> = std::fs::read_dir("specs")
+            .expect("run from the repository root")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("dil"))
+            .collect();
+        v.sort();
+        v
+    } else {
+        args.into_iter().map(PathBuf::from).collect()
+    };
+
+    let mut failed = 0;
+    for path in &files {
+        let src = std::fs::read_to_string(path).expect("readable spec");
+        let sm = devil::syntax::SourceMap::new(path.display().to_string(), src.clone());
+        match devil::sema::check_source_with_warnings(&src, &[]) {
+            (Some(model), diags) => {
+                print!("{}", diags.render_all(&sm));
+                println!(
+                    "{}: ok — {} ports, {} registers, {} variables, {} structures",
+                    path.display(),
+                    model.ports.len(),
+                    model.registers.len(),
+                    model.variables.len(),
+                    model.structures.len()
+                );
+            }
+            (None, diags) => {
+                print!("{}", diags.render_all(&sm));
+                println!("{}: FAILED", path.display());
+                failed += 1;
+            }
+        }
+    }
+    println!("\n{} specification(s) checked, {failed} failed", files.len());
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

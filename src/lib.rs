@@ -1,0 +1,37 @@
+//! A Rust reproduction of *Devil: An IDL for Hardware Programming*
+//! (Mérillon, Réveillère, Consel, Marlet, Muller — OSDI 2000).
+//!
+//! This facade crate re-exports the workspace: the Devil compiler
+//! front end and verifier, the access-plan IR and runtime, the C/Rust
+//! stub emitters, the simulated-hardware substrate with the paper's
+//! seven device models, hand-vs-Devil driver pairs, the mutation
+//! analysis, and the experiment harnesses that regenerate Tables 1–4.
+//!
+//! # Quickstart
+//!
+//! ```
+//! // Compile a tiny specification and drive a fake device through it.
+//! let spec = r#"
+//! device demo (base : bit[8] port @ {0..0}) {
+//!     register r = base @ 0 : bit[8];
+//!     variable speed = r[3..0] : int(4);
+//!     variable gear  = r[7..4] : int(4);
+//! }"#;
+//! let model = devil::sema::check_source(spec, &[]).unwrap();
+//! let mut iface = devil::runtime::DeviceInstance::new(devil::ir::lower(&model));
+//! let mut dev = devil::runtime::FakeAccess::new();
+//! iface.write(&mut dev, "speed", 7).unwrap();
+//! iface.write(&mut dev, "gear", 2).unwrap();
+//! assert_eq!(dev.regs[&(0, 0)], 0x27);
+//! ```
+
+pub use devices;
+pub use devil_codegen as codegen;
+pub use devil_eval as eval;
+pub use devil_ir as ir;
+pub use devil_runtime as runtime;
+pub use devil_sema as sema;
+pub use devil_syntax as syntax;
+pub use drivers;
+pub use hwsim;
+pub use mutation;
