@@ -57,9 +57,7 @@ fn bench_ablations(c: &mut Criterion) {
         let mut drv = DevilBusmouse::new(BASE);
         b.iter(|| black_box(drv.read_state(&mut bus)))
     });
-    g.bench_function("dma_vs_pio_sweep", |b| {
-        b.iter(|| black_box(table2::run(PioMove::Block)))
-    });
+    g.bench_function("dma_vs_pio_sweep", |b| b.iter(|| black_box(table2::run(PioMove::Block))));
     g.finish();
 }
 

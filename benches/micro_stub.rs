@@ -24,14 +24,52 @@ fn bench_micro(c: &mut Criterion) {
         })
     });
 
-    // The interpreted stub doing the same masked write.
+    // The seed interpreter doing the same masked write (general path:
+    // plan-regs walk, per-register compose, hash-free but dynamic).
     g.bench_function("interp_masked_write", |b| {
+        let mut inst = instance();
+        inst.set_fast_plans(false);
+        let mut dev = FakeAccess::new();
+        b.iter(|| {
+            inst.write(&mut dev, "config", black_box(1)).unwrap();
+            black_box(&dev);
+        })
+    });
+
+    // The precompiled-plan fast path for the identical write: offsets,
+    // masks and cache slots resolved at lowering time.
+    g.bench_function("plan_masked_write", |b| {
         let mut inst = instance();
         let mut dev = FakeAccess::new();
         b.iter(|| {
             inst.write(&mut dev, "config", black_box(1)).unwrap();
             black_box(&dev);
         })
+    });
+
+    // Steady-state idempotent read, general path vs precompiled plan
+    // (both serve from the cache; the plan path assembles from flat
+    // slots with zero hashing or cloning).
+    let read_spec = r#"device demo (base : bit[8] port @ {0..0}) {
+        register r = base @ 0 : bit[8];
+        variable v = r : int(8);
+    }"#;
+    let read_instance = || {
+        let model = devil_sema::check_source(read_spec, &[]).unwrap();
+        DeviceInstance::new(devil_ir::lower(&model))
+    };
+    g.bench_function("interp_cached_read", |b| {
+        let mut inst = read_instance();
+        inst.set_fast_plans(false);
+        let mut dev = FakeAccess::new();
+        inst.write(&mut dev, "v", 0x5a).unwrap();
+        b.iter(|| black_box(inst.read(&mut dev, "v").unwrap()))
+    });
+    g.bench_function("plan_cached_read", |b| {
+        let mut inst = read_instance();
+        let mut dev = FakeAccess::new();
+        inst.write(&mut dev, "v", 0x5a).unwrap();
+        b.iter(|| black_box(inst.read(&mut dev, "v").unwrap()))
     });
 
     // A full structure read (8 fake I/O operations + extraction).

@@ -113,8 +113,7 @@ impl Busmouse {
                 // Buttons in bits 7..5 (inverted on real hardware; the
                 // Linux driver re-inverts — we keep them active-high and
                 // the drivers treat them symmetrically).
-                (((self.latched_dy as u8) >> 4) & 0x0f)
-                    | ((self.latched_buttons & 0x7) << 5)
+                (((self.latched_dy as u8) >> 4) & 0x0f) | ((self.latched_buttons & 0x7) << 5)
             }
             _ => 0,
         };

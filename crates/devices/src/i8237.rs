@@ -138,11 +138,8 @@ impl Device for I8237 {
             0..=7 => {
                 let ch = (offset / 2) as usize;
                 let is_count = offset % 2 == 1;
-                let v = if is_count {
-                    self.channels[ch].cur_count
-                } else {
-                    self.channels[ch].cur_addr
-                };
+                let v =
+                    if is_count { self.channels[ch].cur_count } else { self.channels[ch].cur_addr };
                 let byte = if self.flip_flop { (v >> 8) as u8 } else { v as u8 };
                 self.flip_flop = !self.flip_flop;
                 byte as u64

@@ -322,8 +322,7 @@ impl IdeController {
         if let Phase::DmaRead { lba, sectors } = self.phase {
             let bytes = sectors as usize * SECTOR_SIZE;
             let base = lba as usize * SECTOR_SIZE;
-            self.mem
-                .write(self.bm_prd as usize, &self.disk[base..base + bytes]);
+            self.mem.write(self.bm_prd as usize, &self.disk[base..base + bytes]);
             self.dma_words += (bytes / 2) as u64;
             self.phase = Phase::Idle;
             self.status = status::DRDY;

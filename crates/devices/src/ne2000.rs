@@ -416,7 +416,7 @@ mod tests {
         n.io_write(p0::ISR, 0x7f, Width::W8); // CURR = 0x7f (pstop 0x80)
         n.io_write(p0::CR, cr::STA as u64, Width::W8); // back to page 0
         n.inject_rx(&[1u8; 300]); // needs 2 pages -> wraps
-        // CURR wrapped to pstart + 1.
+                                  // CURR wrapped to pstart + 1.
         n.io_write(p0::CR, (1u64 << 6) | cr::STA as u64, Width::W8);
         let curr = n.io_read(p0::ISR, Width::W8) as u8;
         assert_eq!(curr, 0x47);

@@ -148,14 +148,14 @@ impl Permedia2 {
                 if v & render::FILL != 0 {
                     self.fill(x, y, w, h);
                     self.rects_done += 1;
-                    self.busy_until =
-                        self.now.max(self.busy_until) + pixels * self.bytes_per_pixel() * self.fill_ns_per_byte;
+                    self.busy_until = self.now.max(self.busy_until)
+                        + pixels * self.bytes_per_pixel() * self.fill_ns_per_byte;
                 } else if v & render::COPY != 0 {
                     let (sx, sy) = (self.copy_src & 0xffff, self.copy_src >> 16);
                     self.copy(sx, sy, x, y, w, h);
                     self.copies_done += 1;
-                    self.busy_until =
-                        self.now.max(self.busy_until) + pixels * self.bytes_per_pixel() * self.copy_ns_per_byte;
+                    self.busy_until = self.now.max(self.busy_until)
+                        + pixels * self.bytes_per_pixel() * self.copy_ns_per_byte;
                 }
             }
             _ => {} // scratch/no-op setup registers
@@ -257,7 +257,7 @@ mod tests {
         wr(&mut bus, reg::BLOCK_COLOR, 0x00ff_00aa);
         wr(&mut bus, reg::RENDER, render::FILL);
         bus.idle(1_000_000.0); // let the engine drain
-        // Verify pixels via a direct device instance.
+                               // Verify pixels via a direct device instance.
         let mut pm = Permedia2::new(64, 64);
         pm.mem_write(reg::CONFIG, 3, Width::W32);
         pm.mem_write(reg::RECT_POS, (5 << 16) | 10, Width::W32);

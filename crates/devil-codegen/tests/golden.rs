@@ -1,37 +1,59 @@
 //! Golden tests: the generated stub text for the busmouse (the paper's
-//! Figure 3 artifact) is pinned. Regenerate with:
+//! Figure 3 artifact) is pinned under `goldens/`. After an intentional
+//! emitter change, regenerate with:
 //!
 //! ```text
-//! cargo run -p devil-codegen --bin devilc -- emit-c specs/busmouse.dil bm \
-//!     > crates/devil-codegen/goldens/busmouse_bm.h
-//! cargo run -p devil-codegen --bin devilc -- emit-rust specs/busmouse.dil \
-//!     > crates/devil-codegen/goldens/busmouse.rs
+//! UPDATE_GOLDENS=1 cargo test -p devil-codegen --test golden
 //! ```
 
+use std::fs;
+use std::path::PathBuf;
+
 const SPEC: &str = include_str!("../../../specs/busmouse.dil");
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("goldens").join(name)
+}
+
+/// Compares `got` against the pinned golden, rewriting it instead when
+/// `UPDATE_GOLDENS=1` is set.
+fn assert_matches_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDENS").is_ok_and(|v| v == "1") {
+        fs::write(&path, got).unwrap_or_else(|e| panic!("cannot update {}: {e}", path.display()));
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden {} ({e}); run with UPDATE_GOLDENS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        got,
+        want.as_str(),
+        "{name} drifted; rerun with UPDATE_GOLDENS=1 if the change is intentional"
+    );
+}
 
 #[test]
 fn c_output_matches_golden() {
     let got = devil_codegen::compile_to_c(SPEC, "bm").unwrap();
-    let want = include_str!("../goldens/busmouse_bm.h");
-    assert_eq!(got, want, "C golden drifted; regenerate if intentional");
+    assert_matches_golden("busmouse_bm.h", &got);
 }
 
 #[test]
 fn rust_output_matches_golden() {
     let got = devil_codegen::compile_to_rust(SPEC).unwrap();
-    let want = include_str!("../goldens/busmouse.rs");
-    assert_eq!(got, want, "Rust golden drifted; regenerate if intentional");
+    assert_matches_golden("busmouse.rs", &got);
 }
 
 #[test]
 fn golden_contains_figure_3_structure() {
-    let h = include_str!("../goldens/busmouse_bm.h");
+    let h = devil_codegen::compile_to_c(SPEC, "bm").unwrap();
     // The paper's Figure 3c: the inlined structure reader performs the
     // four index writes and four data reads.
-    let mut lines = h
-        .lines()
-        .skip_while(|l| !l.starts_with("#define bm_get_mouse_state"));
+    let mut lines = h.lines().skip_while(|l| !l.starts_with("#define bm_get_mouse_state"));
     let mut get_state = String::new();
     for l in lines.by_ref() {
         get_state.push_str(l);

@@ -27,7 +27,16 @@ fn main() {
     print!(
         "{}",
         devil_eval_render(
-            &["Device", "Language", "Lines", "Sites", "Mut/site", "Undet/site", "Sites w/ undet", "Ratio to C"],
+            &[
+                "Device",
+                "Language",
+                "Lines",
+                "Sites",
+                "Mut/site",
+                "Undet/site",
+                "Sites w/ undet",
+                "Ratio to C"
+            ],
             &rows
         )
     );

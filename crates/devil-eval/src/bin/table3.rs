@@ -4,8 +4,5 @@ use devil_eval::table34::{render, run, Primitive};
 
 fn main() {
     let rows = run(Primitive::Fill);
-    print!(
-        "{}",
-        render(&rows, "Table 3: Permedia2 Xfree86 driver — rectangle fill", "rect/s")
-    );
+    print!("{}", render(&rows, "Table 3: Permedia2 Xfree86 driver — rectangle fill", "rect/s"));
 }

@@ -4,8 +4,5 @@ use devil_eval::table34::{render, run, Primitive};
 
 fn main() {
     let rows = run(Primitive::Copy);
-    print!(
-        "{}",
-        render(&rows, "Table 4: Permedia2 Xfree86 driver — screen copy", "copies/s")
-    );
+    print!("{}", render(&rows, "Table 4: Permedia2 Xfree86 driver — screen copy", "copies/s"));
 }

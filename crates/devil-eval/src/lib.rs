@@ -24,19 +24,13 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     let _ = writeln!(out, "{title}");
     let line_len = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
     let _ = writeln!(out, "{}", "=".repeat(line_len));
-    let hdr: Vec<String> = headers
-        .iter()
-        .enumerate()
-        .map(|(i, h)| format!("{:>w$}", h, w = widths[i]))
-        .collect();
+    let hdr: Vec<String> =
+        headers.iter().enumerate().map(|(i, h)| format!("{:>w$}", h, w = widths[i])).collect();
     let _ = writeln!(out, "{}", hdr.join(" | "));
     let _ = writeln!(out, "{}", "-".repeat(line_len));
     for row in rows {
-        let cells: Vec<String> = row
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
-            .collect();
+        let cells: Vec<String> =
+            row.iter().enumerate().map(|(i, c)| format!("{:>w$}", c, w = widths[i])).collect();
         let _ = writeln!(out, "{}", cells.join(" | "));
     }
     out

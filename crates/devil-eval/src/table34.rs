@@ -115,9 +115,15 @@ pub fn run_cell(primitive: Primitive, depth: Depth, size: u32) -> Row {
             let mut h = hand_cell.borrow_mut();
             match primitive {
                 Primitive::Fill => h.fill_rect(bus, (i * 7) % 400, (i * 13) % 300, size, size, i),
-                Primitive::Copy => {
-                    h.copy_rect(bus, (i * 3) % 200, (i * 5) % 200, (i * 7) % 400, (i * 11) % 300, size, size)
-                }
+                Primitive::Copy => h.copy_rect(
+                    bus,
+                    (i * 3) % 200,
+                    (i * 5) % 200,
+                    (i * 7) % 400,
+                    (i * 11) % 300,
+                    size,
+                    size,
+                ),
             }
         },
         || hand_cell.borrow().wait_iterations,
@@ -134,23 +140,20 @@ pub fn run_cell(primitive: Primitive, depth: Depth, size: u32) -> Row {
             let mut d = devil_cell.borrow_mut();
             match primitive {
                 Primitive::Fill => d.fill_rect(bus, (i * 7) % 400, (i * 13) % 300, size, size, i),
-                Primitive::Copy => {
-                    d.copy_rect(bus, (i * 3) % 200, (i * 5) % 200, (i * 7) % 400, (i * 11) % 300, size, size)
-                }
+                Primitive::Copy => d.copy_rect(
+                    bus,
+                    (i * 3) % 200,
+                    (i * 5) % 200,
+                    (i * 7) % 400,
+                    (i * 11) % 300,
+                    size,
+                    size,
+                ),
             }
         },
         || devil_cell.borrow().wait_iterations,
     );
-    Row {
-        bpp: depth.bits(),
-        size,
-        std_ops,
-        std_rate,
-        std_w,
-        devil_ops,
-        devil_rate,
-        devil_w,
-    }
+    Row { bpp: depth.bits(), size, std_ops, std_rate, std_w, devil_ops, devil_rate, devil_w }
 }
 
 /// Runs the full 4×4 grid for one primitive.

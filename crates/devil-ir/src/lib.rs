@@ -33,6 +33,58 @@ pub struct DeviceIr {
     pub structs: Vec<StructIr>,
     /// Number of memory cells (private unmapped variables).
     pub mem_cells: usize,
+    /// Number of flat cache slots (one per non-family register). Family
+    /// registers are cached per argument tuple by the runtime instead.
+    pub cache_slots: usize,
+    /// Interned name table: `(name, id)` sorted by name, for
+    /// hash-free variable resolution.
+    var_names: Vec<(String, VarId)>,
+    /// Interned register names, sorted.
+    reg_names: Vec<(String, RegId)>,
+    /// Interned structure names, sorted.
+    struct_names: Vec<(String, StructId)>,
+}
+
+/// One step of a precompiled access plan: a single register access with
+/// every mask, offset and cache slot resolved at lowering time, so the
+/// steady-state interpreter does no hashing and no plan evaluation.
+#[derive(Clone, Debug)]
+pub struct PlanStep {
+    /// The accessed register.
+    pub reg: RegId,
+    /// Flat cache slot of the register.
+    pub slot: usize,
+    /// Port index.
+    pub port: u32,
+    /// Resolved constant offset within the port.
+    pub offset: u64,
+    /// Access width in bits.
+    pub size: u32,
+    /// Write composition: bits of the cached raw value to keep
+    /// (clears this variable's segments and trigger neighbours' bits).
+    pub keep_and: u64,
+    /// Write composition: neutral bits of trigger neighbours to force.
+    pub trigger_or: u64,
+    /// This variable's segments on the register (value insertion).
+    pub segs: Vec<FieldSeg>,
+    /// Register AND-mask applied to the outgoing write.
+    pub out_and: u64,
+    /// Register OR-mask applied to the outgoing write.
+    pub out_or: u64,
+}
+
+/// A precompiled linear access plan for one variable direction.
+///
+/// Compiled only for "simple" variables: non-family, backed exclusively
+/// by non-family registers with no pre/post/set actions, with a static
+/// (condition-free) access order. Everything else falls back to the
+/// general interpreter.
+#[derive(Clone, Debug, Default)]
+pub struct AccessPlan {
+    /// Register accesses, in plan order.
+    pub steps: Vec<PlanStep>,
+    /// `(slot, segment)` pairs assembling the variable from the cache.
+    pub assemble: Vec<(usize, FieldSeg)>,
 }
 
 /// A port descriptor.
@@ -117,6 +169,9 @@ pub struct RegIr {
     /// Whether any variable on this register is volatile (the register's
     /// cached value may go stale on its own).
     pub volatile: bool,
+    /// Flat cache slot for non-family registers; `None` for families,
+    /// which the runtime caches per argument tuple.
+    pub slot: Option<usize>,
 }
 
 /// A lowered variable.
@@ -153,6 +208,12 @@ pub struct VarIr {
     pub readable: bool,
     /// Whether the variable is writable.
     pub writable: bool,
+    /// Precompiled read plan, when the variable qualifies. Shared via
+    /// `Arc` so cloning a `VarIr` (the interpreter's general path does)
+    /// never deep-copies a plan.
+    pub read_plan: Option<std::sync::Arc<AccessPlan>>,
+    /// Precompiled write plan, when the variable qualifies.
+    pub write_plan: Option<std::sync::Arc<AccessPlan>>,
 }
 
 impl RegIr {
@@ -193,18 +254,24 @@ pub struct StructIr {
 
 /// Lowers a checked device to IR.
 pub fn lower(model: &CheckedDevice) -> DeviceIr {
-    let ports = model
-        .ports
-        .iter()
-        .map(|p| PortIr { name: p.name.clone(), width: p.width })
-        .collect();
+    let ports =
+        model.ports.iter().map(|p| PortIr { name: p.name.clone(), width: p.width }).collect();
 
-    // Registers: masks and (initially empty) field lists.
+    // Registers: masks, flat cache slots and (initially empty) field
+    // lists. Non-family registers get one slot each.
+    let mut cache_slots = 0usize;
     let mut regs: Vec<RegIr> = model
         .registers
         .iter()
         .map(|r| {
             let (or_mask, and_mask) = r.forced_masks();
+            let slot = if r.params.is_empty() {
+                let s = cache_slots;
+                cache_slots += 1;
+                Some(s)
+            } else {
+                None
+            };
             RegIr {
                 name: r.name.clone(),
                 size: r.size,
@@ -218,6 +285,7 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
                 set: r.set.clone(),
                 fields: Vec::new(),
                 volatile: false,
+                slot,
             }
         })
         .collect();
@@ -296,11 +364,21 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
             parent: v.parent,
             readable,
             writable,
+            read_plan: None,
+            write_plan: None,
         });
     }
 
+    // Second pass: precompile access plans now that every register's
+    // fields (and therefore trigger layouts) are known.
+    for vi in 0..vars.len() {
+        let (read_plan, write_plan) = compile_plans(VarId(vi as u32), &vars, &regs);
+        vars[vi].read_plan = read_plan;
+        vars[vi].write_plan = write_plan;
+    }
+
     // Structures: default order = registers of fields in field order.
-    let structs = model
+    let structs: Vec<StructIr> = model
         .structures
         .iter()
         .map(|s| {
@@ -319,14 +397,22 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
                 Some(plan) => (plan.steps.clone(), plan.steps.clone()),
                 None => (default_order.clone(), default_order),
             };
-            StructIr {
-                name: s.name.clone(),
-                fields: s.fields.clone(),
-                read_order,
-                write_order,
-            }
+            StructIr { name: s.name.clone(), fields: s.fields.clone(), read_order, write_order }
         })
         .collect();
+
+    let mut var_names: Vec<(String, VarId)> =
+        vars.iter().enumerate().map(|(i, v)| (v.name.clone(), VarId(i as u32))).collect();
+    var_names.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut reg_names: Vec<(String, RegId)> =
+        regs.iter().enumerate().map(|(i, r)| (r.name.clone(), RegId(i as u32))).collect();
+    reg_names.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut struct_names: Vec<(String, StructId)> = structs
+        .iter()
+        .enumerate()
+        .map(|(i, s): (usize, &StructIr)| (s.name.clone(), StructId(i as u32)))
+        .collect();
+    struct_names.sort_by(|a, b| a.0.cmp(&b.0));
 
     DeviceIr {
         name: model.name.clone(),
@@ -335,32 +421,124 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
         vars,
         structs,
         mem_cells,
+        cache_slots,
+        var_names,
+        reg_names,
+        struct_names,
     }
 }
 
+/// Compiles the read/write plans for one variable, when it qualifies.
+///
+/// A direction qualifies when the access can be proven at lowering time
+/// to be a linear sequence of plain register accesses: the variable is
+/// non-family (no `set` actions for writes), every backing register is
+/// non-family with empty pre/post/set action lists and a constant
+/// offset, and the access order contains no conditional steps. The
+/// trigger-neighbour neutral substitution folds into two constants per
+/// step, so the runtime's steady state is mask/shift arithmetic only.
+fn compile_plans(
+    vid: VarId,
+    vars: &[VarIr],
+    regs: &[RegIr],
+) -> (Option<std::sync::Arc<AccessPlan>>, Option<std::sync::Arc<AccessPlan>>) {
+    let var = &vars[vid.0 as usize];
+    if !var.params.is_empty() || var.mem_cell.is_some() {
+        return (None, None);
+    }
+    // Every segment must target a slotted (non-family) register.
+    let assemble: Option<Vec<(usize, FieldSeg)>> =
+        var.segs.iter().map(|s| regs[s.reg.0 as usize].slot.map(|slot| (slot, s.seg))).collect();
+    let Some(assemble) = assemble else { return (None, None) };
+
+    let compile = |order: &[SerStep], write: bool| -> Option<AccessPlan> {
+        let mut steps = Vec::with_capacity(order.len());
+        for step in order {
+            let SerStep::Reg(rid) = step else { return None };
+            let reg = &regs[rid.0 as usize];
+            let slot = reg.slot?;
+            if !reg.pre.is_empty() || !reg.post.is_empty() || !reg.set.is_empty() {
+                return None;
+            }
+            let binding = if write { reg.write.as_ref()? } else { reg.read.as_ref()? };
+            let Offset::Const(offset) = binding.offset else { return None };
+            // This variable's own segments on the register.
+            let mut clear = 0u64;
+            let mut segs = Vec::new();
+            for s in &var.segs {
+                if s.reg == *rid {
+                    clear |= s.seg.reg_mask();
+                    segs.push(s.seg);
+                }
+            }
+            // Trigger neighbours get their (static) neutral value; the
+            // substitution folds into the keep/force constants.
+            let mut trigger_or = 0u64;
+            if write {
+                for field in &reg.fields {
+                    if field.var == vid {
+                        continue;
+                    }
+                    let other = &vars[field.var.0 as usize];
+                    if other.behavior.write_trigger {
+                        if let Some(neutral) = other.neutral {
+                            let nv = match neutral {
+                                Neutral::Except(n) => n,
+                                // `for X`: every value except X is neutral.
+                                Neutral::For(x) => u64::from(x == 0),
+                            };
+                            clear |= field.reg_mask();
+                            trigger_or |= field.insert(nv);
+                        }
+                    }
+                }
+            }
+            steps.push(PlanStep {
+                reg: *rid,
+                slot,
+                port: binding.port.0,
+                offset,
+                size: reg.size,
+                keep_and: !clear,
+                trigger_or,
+                segs,
+                out_and: reg.and_mask,
+                out_or: reg.or_mask,
+            });
+        }
+        Some(AccessPlan { steps, assemble: assemble.clone() })
+    };
+
+    let read_plan = if var.readable { compile(&var.read_order, false) } else { None };
+    let write_plan =
+        if var.writable && var.set.is_empty() { compile(&var.write_order, true) } else { None };
+    (read_plan.map(std::sync::Arc::new), write_plan.map(std::sync::Arc::new))
+}
+
 impl DeviceIr {
-    /// Looks a variable up by name.
+    /// Looks a variable up by name (binary search over the interned
+    /// name table — no hashing, no linear scan).
     pub fn var_id(&self, name: &str) -> Option<VarId> {
-        self.vars
-            .iter()
-            .position(|v| v.name == name)
-            .map(|i| VarId(i as u32))
+        self.var_names
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.var_names[i].1)
     }
 
     /// Looks a structure up by name.
     pub fn struct_id(&self, name: &str) -> Option<StructId> {
-        self.structs
-            .iter()
-            .position(|s| s.name == name)
-            .map(|i| StructId(i as u32))
+        self.struct_names
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.struct_names[i].1)
     }
 
     /// Looks a register up by name.
     pub fn reg_id(&self, name: &str) -> Option<RegId> {
-        self.regs
-            .iter()
-            .position(|r| r.name == name)
-            .map(|i| RegId(i as u32))
+        self.reg_names
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.reg_names[i].1)
     }
 
     /// The variable for an id.
@@ -562,8 +740,116 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
         );
         let xa = ir.var(ir.var_id("XA").unwrap());
         assert_eq!(xa.segs.len(), 2);
-        assert_eq!((xa.segs[0].seg.reg_hi, xa.segs[0].seg.reg_lo, xa.segs[0].seg.var_lo), (2, 2, 4));
-        assert_eq!((xa.segs[1].seg.reg_hi, xa.segs[1].seg.reg_lo, xa.segs[1].seg.var_lo), (7, 4, 0));
+        assert_eq!(
+            (xa.segs[0].seg.reg_hi, xa.segs[0].seg.reg_lo, xa.segs[0].seg.var_lo),
+            (2, 2, 4)
+        );
+        assert_eq!(
+            (xa.segs[1].seg.reg_hi, xa.segs[1].seg.reg_lo, xa.segs[1].seg.var_lo),
+            (7, 4, 0)
+        );
+    }
+
+    #[test]
+    fn plans_compiled_for_simple_variables() {
+        let ir = ir_for(BUSMOUSE);
+        // `config` lives alone on `cr`, which has no actions: both
+        // directions are ineligible/eligible by direction only.
+        let config = ir.var(ir.var_id("config").unwrap());
+        assert!(config.read_plan.is_none(), "cr is write-only");
+        let plan = config.write_plan.as_ref().expect("cr write plan");
+        assert_eq!(plan.steps.len(), 1);
+        let step = &plan.steps[0];
+        assert_eq!(step.offset, 3);
+        assert_eq!(step.out_or, 0b1001_0000);
+        assert_eq!(step.out_and, 0b1001_0001);
+        assert_eq!(step.segs.len(), 1);
+        // `signature` reads a plain register: read plan with one step.
+        let sig = ir.var(ir.var_id("signature").unwrap());
+        let rp = sig.read_plan.as_ref().expect("sig_reg read plan");
+        assert_eq!(rp.steps.len(), 1);
+        assert_eq!(rp.steps[0].offset, 1);
+        assert_eq!(rp.assemble.len(), 1);
+        // `dx` is backed by registers with pre-actions: no plans.
+        let dx = ir.var(ir.var_id("dx").unwrap());
+        assert!(dx.read_plan.is_none());
+        assert!(dx.write_plan.is_none());
+    }
+
+    #[test]
+    fn plans_fold_trigger_neutrals() {
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..0}) {
+                 register cmd = base @ 0 : bit[8];
+                 variable st = cmd[1..0], write trigger except NEUTRAL
+                   : { NEUTRAL <=> '11', START <=> '01', STOP <=> '10', NOP <=> '00' };
+                 variable page = cmd[7..2] : int(6);
+               }"#,
+        );
+        let page = ir.var(ir.var_id("page").unwrap());
+        let plan = page.write_plan.as_ref().expect("page write plan");
+        let step = &plan.steps[0];
+        // st's bits are cleared from the cached value and replaced by
+        // the neutral pattern '11'.
+        assert_eq!(step.keep_and & 0b11, 0, "st bits cleared");
+        assert_eq!(step.trigger_or, 0b11, "neutral folded in");
+        // st's own plan keeps page's cached bits.
+        let st = ir.var(ir.var_id("st").unwrap());
+        let sp = st.write_plan.as_ref().expect("st write plan");
+        assert_eq!(sp.steps[0].keep_and & 0b1111_1100, 0b1111_1100);
+        assert_eq!(sp.steps[0].trigger_or, 0);
+    }
+
+    #[test]
+    fn no_plans_for_families_conditions_or_actions() {
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..3}) {
+                 register r(i : int{0..3}) = base @ i : bit[8];
+                 variable v(i : int{0..3}) = r(i), volatile : int(8);
+               }"#,
+        );
+        let v = ir.var(ir.var_id("v").unwrap());
+        assert!(v.read_plan.is_none() && v.write_plan.is_none());
+
+        let ir2 = ir_for(
+            r#"device d (base : bit[8] port @ {0..0}) {
+                 private variable xm : bool;
+                 register control = base @ 0, set {xm = false} : bit[8];
+                 variable IA = control : int{0..31};
+               }"#,
+        );
+        let ia = ir2.var(ir2.var_id("IA").unwrap());
+        assert!(ia.read_plan.is_none(), "register has set actions");
+        let xm = ir2.var(ir2.var_id("xm").unwrap());
+        assert!(xm.read_plan.is_none(), "memory cells need no plan");
+    }
+
+    #[test]
+    fn cache_slots_assigned_to_concrete_registers_only() {
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..4}) {
+                 register plain = base @ 4 : bit[8];
+                 variable v = plain : int(8);
+                 register r(i : int{0..3}) = base @ i : bit[8];
+                 variable f(i : int{0..3}) = r(i), volatile : int(8);
+               }"#,
+        );
+        assert_eq!(ir.cache_slots, 1);
+        assert!(ir.reg(ir.reg_id("plain").unwrap()).slot.is_some());
+        assert!(ir.reg(ir.reg_id("r").unwrap()).slot.is_none());
+    }
+
+    #[test]
+    fn interned_lookup_matches_linear_scan() {
+        let ir = ir_for(BUSMOUSE);
+        for (i, v) in ir.vars.iter().enumerate() {
+            assert_eq!(ir.var_id(&v.name), Some(VarId(i as u32)), "{}", v.name);
+        }
+        for (i, r) in ir.regs.iter().enumerate() {
+            assert_eq!(ir.reg_id(&r.name), Some(RegId(i as u32)), "{}", r.name);
+        }
+        assert_eq!(ir.var_id("nonexistent"), None);
+        assert_eq!(ir.struct_id("mouse_state"), Some(StructId(0)));
     }
 
     #[test]

@@ -98,9 +98,7 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(RtError::Unknown("x".into()).to_string().contains("`x`"));
-        assert!(RtError::ValueRange { var: "v".into(), value: 9 }
-            .to_string()
-            .contains("0x9"));
+        assert!(RtError::ValueRange { var: "v".into(), value: 9 }.to_string().contains("0x9"));
         assert!(RtError::ArityMismatch { var: "v".into(), expected: 1, got: 2 }
             .to_string()
             .contains("takes 1"));

@@ -106,6 +106,31 @@ proptest! {
     }
 
     #[test]
+    fn plan_and_interpreter_paths_agree(split in 0u32..7, writes in proptest::collection::vec((any::<bool>(), 0u64..256), 1..12)) {
+        // Replay a random read/write sequence through the precompiled
+        // plans and the general interpreter; the device must see the
+        // exact same op stream.
+        let lo_mask = (1u64 << (split + 1)) - 1;
+        let mut fast = instance(&split_spec(split));
+        let mut fast_dev = FakeAccess::new();
+        let mut slow = instance(&split_spec(split));
+        slow.set_fast_plans(false);
+        let mut slow_dev = FakeAccess::new();
+        for &(read, v) in &writes {
+            if read {
+                let a = fast.read(&mut fast_dev, "lo").unwrap();
+                let b = slow.read(&mut slow_dev, "lo").unwrap();
+                prop_assert_eq!(a, b);
+            } else {
+                fast.write(&mut fast_dev, "lo", v & lo_mask).unwrap();
+                slow.write(&mut slow_dev, "lo", v & lo_mask).unwrap();
+            }
+        }
+        prop_assert_eq!(&fast_dev.log, &slow_dev.log);
+        prop_assert_eq!(&fast_dev.regs, &slow_dev.regs);
+    }
+
+    #[test]
     fn debug_checks_accept_exactly_the_value_set(v in 0u64..64) {
         let mut d = instance(
             r#"device d (base : bit[8] port @ {0..0}) {

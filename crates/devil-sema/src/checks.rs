@@ -152,10 +152,7 @@ fn check_omission(model: &CheckedDevice, diags: &mut DiagSink) {
         if !missing.is_empty() {
             diags.error(
                 ErrorCode::OUnusedPort,
-                format!(
-                    "offsets {missing:?} of port `{}` are declared but never used",
-                    port.name
-                ),
+                format!("offsets {missing:?} of port `{}` are declared but never used", port.name),
                 port.span,
             );
         }
@@ -502,10 +499,7 @@ fn check_trigger_conflicts(model: &CheckedDevice, diags: &mut DiagSink) {
             .iter()
             .enumerate()
             .filter(|(_, v)| {
-                v.bits
-                    .as_ref()
-                    .map(|cs| cs.iter().any(|c| c.reg == rid))
-                    .unwrap_or(false)
+                v.bits.as_ref().map(|cs| cs.iter().any(|c| c.reg == rid)).unwrap_or(false)
                     && var_directions(model, v).1
             })
             .map(|(i, v)| (VarId(i as u32), v))
@@ -649,7 +643,9 @@ mod tests {
                }"#,
         );
         assert!(diags.has_code(ErrorCode::VRegisterOverlap));
-        assert!(diags.has_code(ErrorCode::VBitOverlap) || true);
+        // A bit-overlap report may or may not accompany the register
+        // overlap depending on variable layout; only the register
+        // overlap is guaranteed here.
     }
 
     #[test]

@@ -35,10 +35,7 @@ use devil_syntax::diag::DiagSink;
 /// `int_params` binds the device's constant integer parameters (used by
 /// conditional declarations). Returns the checked model, or the combined
 /// diagnostics of whichever stage failed.
-pub fn check_source(
-    src: &str,
-    int_params: &[(&str, u64)],
-) -> Result<CheckedDevice, DiagSink> {
+pub fn check_source(src: &str, int_params: &[(&str, u64)]) -> Result<CheckedDevice, DiagSink> {
     match check_source_with_warnings(src, int_params) {
         (Some(model), _) => Ok(model),
         (None, diags) => Err(diags),

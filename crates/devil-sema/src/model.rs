@@ -389,9 +389,7 @@ impl TypeSem {
     /// Whether raw bits `v` are a legal *written* value of the type.
     pub fn valid_write(&self, v: u64) -> bool {
         match self {
-            TypeSem::UInt(n) | TypeSem::SInt(n) => {
-                *n == 64 || v < (1u64 << *n)
-            }
+            TypeSem::UInt(n) | TypeSem::SInt(n) => *n == 64 || v < (1u64 << *n),
             TypeSem::Bool => v <= 1,
             TypeSem::IntSet { set, .. } => set.iter().any(|&(lo, hi)| (lo..=hi).contains(&v)),
             TypeSem::Enum(e) => e.arms.iter().any(|a| a.writable && a.value == v),
@@ -426,10 +424,7 @@ impl EnumSem {
 
     /// Looks up the symbol readable as raw value `v`.
     pub fn sym_for_read(&self, v: u64) -> Option<&str> {
-        self.arms
-            .iter()
-            .find(|a| a.readable && a.value == v)
-            .map(|a| a.sym.as_str())
+        self.arms.iter().find(|a| a.readable && a.value == v).map(|a| a.sym.as_str())
     }
 }
 

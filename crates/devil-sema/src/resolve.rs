@@ -59,10 +59,7 @@ impl<'a, 'd> Resolver<'a, 'd> {
     fn new(dev: &'a ast::Device, int_params: &[(&str, u64)], diags: &'d mut DiagSink) -> Self {
         Resolver {
             dev,
-            bindings: int_params
-                .iter()
-                .map(|(n, v)| (n.to_string(), *v))
-                .collect(),
+            bindings: int_params.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
             diags,
             ports: Vec::new(),
             int_params: Vec::new(),
@@ -91,7 +88,7 @@ impl<'a, 'd> Resolver<'a, 'd> {
             .into_iter()
             .map(|(name, (ty, span))| TypeDefSem { name, ty, span })
             .collect();
-        typedefs.sort_by(|a, b| a.span.cmp(&b.span));
+        typedefs.sort_by_key(|a| a.span);
         CheckedDevice {
             name: self.dev.name.name.clone(),
             ports: self.ports,
@@ -177,12 +174,8 @@ impl<'a, 'd> Resolver<'a, 'd> {
         }
         // Reject bindings that don't correspond to any parameter.
         let declared: Vec<&str> = self.int_params.iter().map(|p| p.name.as_str()).collect();
-        let unknown: Vec<String> = self
-            .bindings
-            .keys()
-            .filter(|k| !declared.contains(&k.as_str()))
-            .cloned()
-            .collect();
+        let unknown: Vec<String> =
+            self.bindings.keys().filter(|k| !declared.contains(&k.as_str())).cloned().collect();
         for k in unknown {
             self.diags.error(
                 ErrorCode::TParamMismatch,
@@ -232,13 +225,14 @@ impl<'a, 'd> Resolver<'a, 'd> {
                 let rv = match rhs {
                     ast::ConstValue::Int(v, _) => *v,
                     ast::ConstValue::Bool(b, _) => *b as u64,
-                    ast::ConstValue::Bits(b, _) => {
-                        u64::from_str_radix(b, 2).unwrap_or(0)
-                    }
+                    ast::ConstValue::Bits(b, _) => u64::from_str_radix(b, 2).unwrap_or(0),
                     ast::ConstValue::Sym(s) => {
                         self.diags.error(
                             ErrorCode::TCondGuard,
-                            format!("symbol `{}` cannot be compared against a device parameter", s.name),
+                            format!(
+                                "symbol `{}` cannot be compared against a device parameter",
+                                s.name
+                            ),
                             *span,
                         );
                         return false;
@@ -583,7 +577,10 @@ impl<'a, 'd> Resolver<'a, 'd> {
                 ast::Expr::Sym(s) => {
                     self.diags.error(
                         ErrorCode::TParamMismatch,
-                        format!("family instantiation arguments must be constants, got `{}`", s.name),
+                        format!(
+                            "family instantiation arguments must be constants, got `{}`",
+                            s.name
+                        ),
                         s.span,
                     );
                     values.push(0);
@@ -641,7 +638,8 @@ impl<'a, 'd> Resolver<'a, 'd> {
             Some(x) => x,
             None => {
                 let kind = self.names.get(&port.base.name).map(|(k, _)| *k);
-                let code = if kind.is_some() { ErrorCode::TWrongKind } else { ErrorCode::TUndefined };
+                let code =
+                    if kind.is_some() { ErrorCode::TWrongKind } else { ErrorCode::TUndefined };
                 self.diags.error(
                     code,
                     format!("`{}` is not a port", port.base.name),
@@ -824,9 +822,9 @@ impl<'a, 'd> Resolver<'a, 'd> {
                 None
             }
         };
-        let width = bits.as_ref().map(|chunks: &Vec<BitChunk>| {
-            chunks.iter().map(|c| c.width()).sum::<u32>()
-        });
+        let width = bits
+            .as_ref()
+            .map(|chunks: &Vec<BitChunk>| chunks.iter().map(|c| c.width()).sum::<u32>());
         let ty = match &v.ty {
             Some(t) => self.resolve_type(t, width, None)?,
             None => {
@@ -840,7 +838,10 @@ impl<'a, 'd> Resolver<'a, 'd> {
         };
         if let Some(w) = width {
             let tw = ty.width();
-            let exact = matches!(ty, TypeSem::UInt(_) | TypeSem::SInt(_) | TypeSem::Bool | TypeSem::Enum(_));
+            let exact = matches!(
+                ty,
+                TypeSem::UInt(_) | TypeSem::SInt(_) | TypeSem::Bool | TypeSem::Enum(_)
+            );
             if exact && tw != w {
                 self.diags.error(
                     ErrorCode::TWidthMismatch,
@@ -960,7 +961,10 @@ impl<'a, 'd> Resolver<'a, 'd> {
                     None => {
                         self.diags.error(
                             ErrorCode::TUndefined,
-                            format!("`{}` is not a value of the expected enumerated type", sym.name),
+                            format!(
+                                "`{}` is not a value of the expected enumerated type",
+                                sym.name
+                            ),
                             sym.span,
                         );
                         return None;
@@ -1029,7 +1033,10 @@ impl<'a, 'd> Resolver<'a, 'd> {
                         if !fp.contains(*v) {
                             self.diags.error(
                                 ErrorCode::TParamMismatch,
-                                format!("argument {v} is outside parameter `{}`'s value set", fp.name),
+                                format!(
+                                    "argument {v} is outside parameter `{}`'s value set",
+                                    fp.name
+                                ),
                                 *vspan,
                             );
                         }
@@ -1109,41 +1116,37 @@ impl<'a, 'd> Resolver<'a, 'd> {
             let Some((rid, _)) = self.find_register(&r.name.name) else { continue };
             // For instances, substitute family parameters by constants and
             // inherit the family's actions.
-            let (inherited, subst, own_params): (Vec<(ActionKind, ast::ActionBlock)>, Vec<u64>, Vec<FamilyParam>) =
-                match &r.spec {
-                    ast::RegSpec::Instance { family, args } => {
-                        let fam_decl = self
-                            .reg_decls
-                            .iter()
-                            .find(|d| d.name.name == family.name)
-                            .copied();
-                        let consts: Vec<u64> = args
-                            .iter()
-                            .map(|a| match a {
-                                ast::Expr::Int(v, _) => *v,
-                                ast::Expr::Sym(_) => 0,
-                            })
-                            .collect();
-                        let inherited = fam_decl
-                            .map(|d| collect_action_blocks(&d.attrs))
-                            .unwrap_or_default();
-                        let fam_params = fam_decl
-                            .map(|d| self.resolve_family_params(&d.params))
-                            .unwrap_or_default();
-                        (inherited, consts, fam_params)
-                    }
-                    _ => {
-                        let params = self.resolve_family_params(&r.params);
-                        (Vec::new(), Vec::new(), params)
-                    }
-                };
+            let (inherited, subst, own_params): (
+                Vec<(ActionKind, ast::ActionBlock)>,
+                Vec<u64>,
+                Vec<FamilyParam>,
+            ) = match &r.spec {
+                ast::RegSpec::Instance { family, args } => {
+                    let fam_decl =
+                        self.reg_decls.iter().find(|d| d.name.name == family.name).copied();
+                    let consts: Vec<u64> = args
+                        .iter()
+                        .map(|a| match a {
+                            ast::Expr::Int(v, _) => *v,
+                            ast::Expr::Sym(_) => 0,
+                        })
+                        .collect();
+                    let inherited =
+                        fam_decl.map(|d| collect_action_blocks(&d.attrs)).unwrap_or_default();
+                    let fam_params =
+                        fam_decl.map(|d| self.resolve_family_params(&d.params)).unwrap_or_default();
+                    (inherited, consts, fam_params)
+                }
+                _ => {
+                    let params = self.resolve_family_params(&r.params);
+                    (Vec::new(), Vec::new(), params)
+                }
+            };
             let mut pre = Vec::new();
             let mut post = Vec::new();
             let mut set = Vec::new();
-            for (kind, block) in inherited
-                .iter()
-                .map(|(k, b)| (*k, b))
-                .chain(collect_action_blocks_ref(&r.attrs))
+            for (kind, block) in
+                inherited.iter().map(|(k, b)| (*k, b)).chain(collect_action_blocks_ref(&r.attrs))
             {
                 for stmt in &block.stmts {
                     if let Some(a) = self.resolve_action(stmt, &own_params, &subst) {
@@ -1384,10 +1387,7 @@ impl<'a, 'd> Resolver<'a, 'd> {
                     if !allowed.contains(&rid) {
                         self.diags.error(
                             ErrorCode::TSerialization,
-                            format!(
-                                "register `{}` does not back the serialized entity",
-                                name.name
-                            ),
+                            format!("register `{}` does not back the serialized entity", name.name),
                             name.span,
                         );
                     }
@@ -1512,7 +1512,9 @@ fn collect_action_blocks(attrs: &[ast::RegAttr]) -> Vec<(ActionKind, ast::Action
         .collect()
 }
 
-fn collect_action_blocks_ref(attrs: &[ast::RegAttr]) -> impl Iterator<Item = (ActionKind, &ast::ActionBlock)> {
+fn collect_action_blocks_ref(
+    attrs: &[ast::RegAttr],
+) -> impl Iterator<Item = (ActionKind, &ast::ActionBlock)> {
     attrs.iter().filter_map(|a| match a {
         ast::RegAttr::Pre(b) => Some((ActionKind::Pre, b)),
         ast::RegAttr::Post(b) => Some((ActionKind::Post, b)),

@@ -18,15 +18,10 @@ fn all_shipped_specs_check_clean() {
         }
         let src = fs::read_to_string(&path).unwrap();
         let (model, diags) = devil_sema::check_source_with_warnings(&src, &[]);
-        assert!(
-            model.is_some(),
-            "{} failed to check:\n{}",
-            path.display(),
-            {
-                let sm = devil_syntax::SourceMap::new(path.display().to_string(), src.clone());
-                diags.render_all(&sm)
-            }
-        );
+        assert!(model.is_some(), "{} failed to check:\n{}", path.display(), {
+            let sm = devil_syntax::SourceMap::new(path.display().to_string(), src.clone());
+            diags.render_all(&sm)
+        });
         checked += 1;
     }
     assert_eq!(checked, 8, "expected the 8 specs of the paper's device suite");
@@ -67,10 +62,7 @@ fn pic8259_serialization_has_conditional_steps() {
     let (_, init) = m.structure("init").unwrap();
     let plan = init.serialized.as_ref().unwrap();
     assert_eq!(plan.steps.len(), 5);
-    let conditional = plan
-        .steps
-        .iter()
-        .filter(|s| matches!(s, devil_sema::model::SerStep::If { .. }))
-        .count();
+    let conditional =
+        plan.steps.iter().filter(|s| matches!(s, devil_sema::model::SerStep::If { .. })).count();
     assert_eq!(conditional, 2, "icw3 and icw4 are conditional");
 }

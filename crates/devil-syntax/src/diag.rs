@@ -223,24 +223,12 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error diagnostic.
     pub fn error(code: ErrorCode, message: impl Into<String>, span: Span) -> Self {
-        Diagnostic {
-            level: Level::Error,
-            code,
-            message: message.into(),
-            span,
-            notes: Vec::new(),
-        }
+        Diagnostic { level: Level::Error, code, message: message.into(), span, notes: Vec::new() }
     }
 
     /// Creates a warning diagnostic.
     pub fn warning(code: ErrorCode, message: impl Into<String>, span: Span) -> Self {
-        Diagnostic {
-            level: Level::Warning,
-            code,
-            message: message.into(),
-            span,
-            notes: Vec::new(),
-        }
+        Diagnostic { level: Level::Warning, code, message: message.into(), span, notes: Vec::new() }
     }
 
     /// Attaches a note to the diagnostic.
@@ -364,8 +352,9 @@ mod tests {
     #[test]
     fn render_points_at_span() {
         let sm = SourceMap::new("t.dil", "register r = base @ 1 : bit[8];");
-        let d = Diagnostic::error(ErrorCode::TUndefined, "undefined port `base`", Span::new(13, 17))
-            .with_note("declare the port in the device header", None);
+        let d =
+            Diagnostic::error(ErrorCode::TUndefined, "undefined port `base`", Span::new(13, 17))
+                .with_note("declare the port in the device header", None);
         let rendered = d.render(&sm);
         assert!(rendered.contains("error[E-T-UNDEF]"), "{rendered}");
         assert!(rendered.contains("t.dil:1:14"), "{rendered}");

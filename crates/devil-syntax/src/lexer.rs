@@ -27,13 +27,7 @@ struct Lexer<'a, 'd> {
 
 impl<'a, 'd> Lexer<'a, 'd> {
     fn new(src: &'a str, diags: &'d mut DiagSink) -> Self {
-        Lexer {
-            src,
-            bytes: src.as_bytes(),
-            pos: 0,
-            diags,
-            tokens: Vec::new(),
-        }
+        Lexer { src, bytes: src.as_bytes(), pos: 0, diags, tokens: Vec::new() }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -261,8 +255,7 @@ impl<'a, 'd> Lexer<'a, 'd> {
 
     fn number(&mut self) {
         let start = self.pos;
-        let radix = if self.peek() == Some(b'0')
-            && matches!(self.peek2(), Some(b'x') | Some(b'X'))
+        let radix = if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X'))
         {
             self.pos += 2;
             16
@@ -305,8 +298,11 @@ impl<'a, 'd> Lexer<'a, 'd> {
                 } else {
                     ErrorCode::LexBadInt
                 };
-                self.diags
-                    .error(code, format!("invalid integer literal `{digits}`"), self.span_from(start));
+                self.diags.error(
+                    code,
+                    format!("invalid integer literal `{digits}`"),
+                    self.span_from(start),
+                );
                 self.push(TokenKind::Int(0), start);
             }
         }
@@ -417,11 +413,7 @@ mod tests {
         let toks = lex_ok("// Signature register (SR)\nregister /* inline /* nested */ ok */ r");
         assert_eq!(
             toks,
-            vec![
-                TokenKind::Kw(K::Register),
-                TokenKind::Ident("r".into()),
-                TokenKind::Eof
-            ]
+            vec![TokenKind::Kw(K::Register), TokenKind::Ident("r".into()), TokenKind::Eof]
         );
     }
 
@@ -476,7 +468,8 @@ mod tests {
 
     #[test]
     fn stray_single_punctuation_reported() {
-        for (src, _desc) in [("a . b", "dot"), ("a & b", "amp"), ("a | b", "pipe"), ("a < b", "lt")] {
+        for (src, _desc) in [("a . b", "dot"), ("a & b", "amp"), ("a | b", "pipe"), ("a < b", "lt")]
+        {
             let (_, diags) = lex_err(src);
             assert!(diags.has_code(ErrorCode::LexUnknownChar), "no error for {src:?}");
         }

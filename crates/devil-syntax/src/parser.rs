@@ -26,9 +26,11 @@ pub fn parse(src: &str) -> (Option<Device>, DiagSink) {
         parser.eat_semi_opt();
         if !parser.at_eof() {
             let sp = parser.peek_span();
-            parser
-                .diags
-                .error(ErrorCode::ParseTrailing, "unexpected input after device declaration", sp);
+            parser.diags.error(
+                ErrorCode::ParseTrailing,
+                "unexpected input after device declaration",
+                sp,
+            );
         }
     }
     (device, diags)
@@ -108,8 +110,11 @@ impl<'d> Parser<'d> {
         } else {
             let sp = self.peek_span();
             let found = self.peek().describe();
-            self.diags
-                .error(ErrorCode::ParseExpected, format!("expected {what}, found {found}"), sp);
+            self.diags.error(
+                ErrorCode::ParseExpected,
+                format!("expected {what}, found {found}"),
+                sp,
+            );
             false
         }
     }
@@ -120,8 +125,11 @@ impl<'d> Parser<'d> {
         } else {
             let sp = self.peek_span();
             let found = self.peek().describe();
-            self.diags
-                .error(ErrorCode::ParseExpected, format!("expected {what}, found {found}"), sp);
+            self.diags.error(
+                ErrorCode::ParseExpected,
+                format!("expected {what}, found {found}"),
+                sp,
+            );
             false
         }
     }
@@ -135,8 +143,11 @@ impl<'d> Parser<'d> {
         } else {
             let sp = self.peek_span();
             let found = self.peek().describe();
-            self.diags
-                .error(ErrorCode::ParseExpected, format!("expected {what}, found {found}"), sp);
+            self.diags.error(
+                ErrorCode::ParseExpected,
+                format!("expected {what}, found {found}"),
+                sp,
+            );
             None
         }
     }
@@ -150,8 +161,11 @@ impl<'d> Parser<'d> {
         } else {
             let sp = self.peek_span();
             let found = self.peek().describe();
-            self.diags
-                .error(ErrorCode::ParseExpected, format!("expected {what}, found {found}"), sp);
+            self.diags.error(
+                ErrorCode::ParseExpected,
+                format!("expected {what}, found {found}"),
+                sp,
+            );
             None
         }
     }
@@ -240,11 +254,7 @@ impl<'d> Parser<'d> {
             self.expect(&T::At, "`@`");
             let range = self.braced_int_set()?;
             let span = name.span.to(start.to(self.prev_span()));
-            Some(Param {
-                name,
-                kind: ParamKind::Port { width: width as u32, range },
-                span,
-            })
+            Some(Param { name, kind: ParamKind::Port { width: width as u32, range }, span })
         } else {
             let ty = self.ty()?;
             let span = name.span.to(ty.span);
@@ -283,8 +293,7 @@ impl<'d> Parser<'d> {
         self.expect(&T::RBrace, "`}`");
         let span = start.to(self.prev_span());
         if items.is_empty() {
-            self.diags
-                .error(ErrorCode::ParseEmpty, "integer set must not be empty", span);
+            self.diags.error(ErrorCode::ParseEmpty, "integer set must not be empty", span);
         }
         Some(IntSet { items, span })
     }
@@ -496,8 +505,11 @@ impl<'d> Parser<'d> {
         } else {
             let sp = self.peek_span();
             let found = self.peek().describe();
-            self.diags
-                .error(ErrorCode::ParseExpected, format!("expected {what}, found {found}"), sp);
+            self.diags.error(
+                ErrorCode::ParseExpected,
+                format!("expected {what}, found {found}"),
+                sp,
+            );
             None
         }
     }
@@ -598,16 +610,7 @@ impl<'d> Parser<'d> {
         };
         self.expect(&T::Semi, "`;`");
         let span = start.to(self.prev_span());
-        Some(VariableDecl {
-            private,
-            name,
-            params,
-            bits,
-            attrs,
-            ty,
-            serialized,
-            span,
-        })
+        Some(VariableDecl { private, name, params, bits, attrs, ty, serialized, span })
     }
 
     /// `x_high[3..0] # x_low[3..0]`
@@ -801,8 +804,7 @@ impl<'d> Parser<'d> {
         self.expect(&T::RBrace, "`}`");
         let span = start.to(self.prev_span());
         if items.is_empty() {
-            self.diags
-                .error(ErrorCode::ParseEmpty, "serialization order must not be empty", span);
+            self.diags.error(ErrorCode::ParseEmpty, "serialization order must not be empty", span);
         }
         Some(SerBlock { items, span })
     }
@@ -815,11 +817,7 @@ impl<'d> Parser<'d> {
             let cond = self.cond()?;
             self.expect(&T::RParen, "`)`");
             let then = Box::new(self.ser_item()?);
-            let els = if self.eat_kw(K::Else) {
-                Some(Box::new(self.ser_item()?))
-            } else {
-                None
-            };
+            let els = if self.eat_kw(K::Else) { Some(Box::new(self.ser_item()?)) } else { None };
             let span = start.to(self.prev_span());
             return Some(SerItem::If { cond, then, els, span });
         }
@@ -951,10 +949,7 @@ impl<'d> Parser<'d> {
                 self.bump();
                 if self.at(&T::LBrace) {
                     let set = self.braced_int_set()?;
-                    Some(Type {
-                        kind: TypeKind::IntSet(set),
-                        span: start.to(self.prev_span()),
-                    })
+                    Some(Type { kind: TypeKind::IntSet(set), span: start.to(self.prev_span()) })
                 } else {
                     self.expect(&T::LParen, "`(`");
                     let (n, nspan) = self.int("bit width")?;
@@ -985,8 +980,11 @@ impl<'d> Parser<'d> {
             _ => {
                 let sp = self.peek_span();
                 let found = self.peek().describe();
-                self.diags
-                    .error(ErrorCode::ParseExpected, format!("expected a type, found {found}"), sp);
+                self.diags.error(
+                    ErrorCode::ParseExpected,
+                    format!("expected a type, found {found}"),
+                    sp,
+                );
                 None
             }
         }
@@ -1032,8 +1030,11 @@ impl<'d> Parser<'d> {
         self.expect(&T::RBrace, "`}`");
         let span = start.to(self.prev_span());
         if arms.is_empty() {
-            self.diags
-                .error(ErrorCode::ParseEmpty, "enumerated type must have at least one arm", span);
+            self.diags.error(
+                ErrorCode::ParseEmpty,
+                "enumerated type must have at least one arm",
+                span,
+            );
         }
         Some(EnumType { arms, span })
     }
@@ -1067,11 +1068,7 @@ mod tests {
 
     fn parse_ok(src: &str) -> Device {
         let (dev, diags) = parse(src);
-        assert!(
-            !diags.has_errors(),
-            "unexpected parse errors:\n{:#?}",
-            diags.all()
-        );
+        assert!(!diags.has_errors(), "unexpected parse errors:\n{:#?}", diags.all());
         dev.expect("no device produced")
     }
 
@@ -1155,7 +1152,10 @@ device logitech_busmouse (base : bit[8] port @ {0..3})
         let bits = dx.bits.as_ref().unwrap();
         assert_eq!(bits.atoms.len(), 2);
         assert_eq!(bits.atoms[0].reg.name, "x_high");
-        assert_eq!(bits.atoms[0].ranges, vec![BitRange { hi: 3, lo: 0, span: bits.atoms[0].ranges[0].span }]);
+        assert_eq!(
+            bits.atoms[0].ranges,
+            vec![BitRange { hi: 3, lo: 0, span: bits.atoms[0].ranges[0].span }]
+        );
         assert!(matches!(dx.ty.as_ref().unwrap().kind, TypeKind::SInt(8)));
     }
 

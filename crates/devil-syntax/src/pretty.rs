@@ -40,12 +40,7 @@ impl Printer {
     }
 
     fn device(&mut self, dev: &Device) {
-        let params = dev
-            .params
-            .iter()
-            .map(|p| self.param_str(p))
-            .collect::<Vec<_>>()
-            .join(", ");
+        let params = dev.params.iter().map(|p| self.param_str(p)).collect::<Vec<_>>().join(", ");
         self.line(&format!("device {} ({params})", dev.name));
         self.line("{");
         self.indent += 1;
@@ -251,13 +246,7 @@ fn atom_str(a: &BitAtom) -> String {
         let rs = a
             .ranges
             .iter()
-            .map(|r| {
-                if r.hi == r.lo {
-                    format!("{}", r.hi)
-                } else {
-                    format!("{}..{}", r.hi, r.lo)
-                }
-            })
+            .map(|r| if r.hi == r.lo { format!("{}", r.hi) } else { format!("{}..{}", r.hi, r.lo) })
             .collect::<Vec<_>>()
             .join(",");
         let _ = write!(s, "[{rs}]");

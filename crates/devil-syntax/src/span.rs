@@ -28,10 +28,7 @@ impl Span {
 
     /// Returns a span covering both `self` and `other`.
     pub fn to(self, other: Span) -> Span {
-        Span {
-            lo: self.lo.min(other.lo),
-            hi: self.hi.max(other.hi),
-        }
+        Span { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
     }
 
     /// Length of the span in bytes.
@@ -96,11 +93,7 @@ impl SourceMap {
                 line_starts.push(i as u32 + 1);
             }
         }
-        SourceMap {
-            name: name.into(),
-            src,
-            line_starts,
-        }
+        SourceMap { name: name.into(), src, line_starts }
     }
 
     /// Converts a byte offset into a [`LineCol`].
@@ -109,21 +102,15 @@ impl SourceMap {
             Ok(i) => i,
             Err(i) => i - 1,
         };
-        LineCol {
-            line: line_idx as u32 + 1,
-            col: offset - self.line_starts[line_idx] + 1,
-        }
+        LineCol { line: line_idx as u32 + 1, col: offset - self.line_starts[line_idx] + 1 }
     }
 
     /// Returns the full text of the (1-based) line containing `offset`.
     pub fn line_text(&self, offset: u32) -> &str {
         let lc = self.line_col(offset);
         let start = self.line_starts[(lc.line - 1) as usize] as usize;
-        let end = self
-            .line_starts
-            .get(lc.line as usize)
-            .map(|&e| e as usize)
-            .unwrap_or(self.src.len());
+        let end =
+            self.line_starts.get(lc.line as usize).map(|&e| e as usize).unwrap_or(self.src.len());
         self.src[start..end].trim_end_matches(['\n', '\r'])
     }
 

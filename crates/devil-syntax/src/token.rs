@@ -39,6 +39,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Looks an identifier up in the keyword table.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {

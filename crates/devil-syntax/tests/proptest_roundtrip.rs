@@ -18,11 +18,8 @@ fn mask(w: usize) -> impl Strategy<Value = String> {
 
 /// Builds a small random-but-valid specification source.
 fn spec() -> impl Strategy<Value = String> {
-    (
-        ident(),
-        proptest::collection::vec((ident(), mask(8), 0u32..8, any::<bool>()), 1..6),
-    )
-        .prop_map(|(dev, regs)| {
+    (ident(), proptest::collection::vec((ident(), mask(8), 0u32..8, any::<bool>()), 1..6)).prop_map(
+        |(dev, regs)| {
             let mut out = String::new();
             let max_off = regs.iter().map(|(_, _, o, _)| *o).max().unwrap_or(0);
             out.push_str(&format!("device d_{dev} (base : bit[8] port @ {{0..{max_off}}}) {{\n"));
@@ -39,7 +36,8 @@ fn spec() -> impl Strategy<Value = String> {
             }
             out.push('}');
             out
-        })
+        },
+    )
 }
 
 proptest! {

@@ -51,11 +51,11 @@ impl HandBusmouse {
         let mse_data_port = self.base;
         let mse_control_port = self.base + 2;
         bus.outb(mse_control_port, MSE_READ_X_LOW);
-        let mut dx = (bus.inb(mse_data_port) & 0xf) as u8;
+        let mut dx = bus.inb(mse_data_port) & 0xf;
         bus.outb(mse_control_port, MSE_READ_X_HIGH);
         dx |= (bus.inb(mse_data_port) & 0xf) << 4;
         bus.outb(mse_control_port, MSE_READ_Y_LOW);
-        let mut dy = (bus.inb(mse_data_port) & 0xf) as u8;
+        let mut dy = bus.inb(mse_data_port) & 0xf;
         bus.outb(mse_control_port, MSE_READ_Y_HIGH);
         let mut buttons = bus.inb(mse_data_port);
         dy |= (buttons & 0xf) << 4;
@@ -152,7 +152,7 @@ mod tests {
 
     #[test]
     fn both_drivers_agree_and_cost_the_same_io() {
-        for (dx, dy, b) in [(0, 0, 0), (127, -128i8 as i8, 7), (-1, 1, 2), (44, -44, 5)] {
+        for (dx, dy, b) in [(0, 0, 0), (127, -128_i8, 7), (-1, 1, 2), (44, -44, 5)] {
             let mut bus_h = rig(dx, dy, b);
             let drv_h = HandBusmouse::new(BASE);
             let s_h = drv_h.read_state(&mut bus_h);

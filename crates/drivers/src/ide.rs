@@ -147,16 +147,20 @@ pub struct DevilIde {
     base: u64,
     ide: DeviceInstance,
     bm: DeviceInstance,
+    /// Resolved-once id of the 16-bit data variable (the per-word PIO
+    /// loop is the driver's hottest path).
+    data16: devil_sema::model::VarId,
+    /// Resolved-once id of the 32-bit data variable.
+    data32: devil_sema::model::VarId,
 }
 
 impl DevilIde {
     /// Compiles the embedded `ide` and `piix4ide` specifications.
     pub fn new(base: u64) -> Self {
-        DevilIde {
-            base,
-            ide: crate::specs::instance(crate::specs::IDE),
-            bm: crate::specs::instance(crate::specs::PIIX4),
-        }
+        let ide = crate::specs::instance(crate::specs::IDE);
+        let data16 = ide.var_id("Ide_data").expect("spec exports Ide_data");
+        let data32 = ide.var_id("Ide_data32").expect("spec exports Ide_data32");
+        DevilIde { base, ide, bm: crate::specs::instance(crate::specs::PIIX4), data16, data32 }
     }
 
     /// Enables debug-mode run-time checks on both interfaces.
@@ -170,11 +174,7 @@ impl DevilIde {
         // All map onto the same physical base.
         PortMap::new(
             bus,
-            vec![
-                MappedPort::io(self.base),
-                MappedPort::io(self.base),
-                MappedPort::io(self.base),
-            ],
+            vec![MappedPort::io(self.base), MappedPort::io(self.base), MappedPort::io(self.base)],
         )
     }
 
@@ -235,7 +235,7 @@ impl DevilIde {
                 match cfg.moves {
                     PioMove::Loop => {
                         for _ in 0..words {
-                            let v = self.ide.read(&mut map, "Ide_data32").unwrap() as u32;
+                            let v = self.ide.read_id(&mut map, self.data32, &[]).unwrap() as u32;
                             out.extend_from_slice(&v.to_le_bytes());
                         }
                     }
@@ -252,7 +252,7 @@ impl DevilIde {
                 match cfg.moves {
                     PioMove::Loop => {
                         for _ in 0..words {
-                            let v = self.ide.read(&mut map, "Ide_data").unwrap() as u16;
+                            let v = self.ide.read_id(&mut map, self.data16, &[]).unwrap() as u16;
                             out.extend_from_slice(&v.to_le_bytes());
                         }
                     }

@@ -149,10 +149,7 @@ impl DevilNe2000 {
         let mut words = vec![0u64; total.div_ceil(2) as usize];
         let mut map = self.ports(bus);
         self.dev.read_block(&mut map, "remote_data", &mut words).unwrap();
-        let mut frame: Vec<u8> = words
-            .iter()
-            .flat_map(|w| [*w as u8, (*w >> 8) as u8])
-            .collect();
+        let mut frame: Vec<u8> = words.iter().flat_map(|w| [*w as u8, (*w >> 8) as u8]).collect();
         frame.truncate(total as usize);
         self.dev.write(&mut map, "bnry", next as u64).unwrap();
         self.dev.write(&mut map, "prx", 1).unwrap();

@@ -118,16 +118,8 @@ impl HandPm2 {
     }
 
     /// Copies a screen rectangle.
-    pub fn copy_rect(
-        &mut self,
-        bus: &mut Bus,
-        sx: u32,
-        sy: u32,
-        dx: u32,
-        dy: u32,
-        w: u32,
-        h: u32,
-    ) {
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_rect(&mut self, bus: &mut Bus, sx: u32, sy: u32, dx: u32, dy: u32, w: u32, h: u32) {
         if self.depth == Depth::Bpp24 || self.depth == Depth::Bpp32 {
             // Packed paths skip the raster setup: 2(#w) + 9.
             self.wait_fifo(bus, 8);
@@ -170,6 +162,10 @@ pub struct DevilPm2 {
     base: u64,
     depth: Depth,
     dev: DeviceInstance,
+    /// Resolved-once id of the `fifo_space` poll variable: the wait
+    /// loop is the driver's hottest path, so the name lookup is hoisted
+    /// out of it.
+    fifo_space: devil_sema::model::VarId,
     /// Wait-loop iterations observed (`#w`).
     pub wait_iterations: u64,
     /// Wait loops performed.
@@ -179,13 +175,9 @@ pub struct DevilPm2 {
 impl DevilPm2 {
     /// Compiles the embedded specification and binds it at `base`.
     pub fn new(base: u64, depth: Depth) -> Self {
-        DevilPm2 {
-            base,
-            depth,
-            dev: crate::specs::instance(crate::specs::PERMEDIA2),
-            wait_iterations: 0,
-            wait_loops: 0,
-        }
+        let dev = crate::specs::instance(crate::specs::PERMEDIA2);
+        let fifo_space = dev.var_id("fifo_space").expect("spec exports fifo_space");
+        DevilPm2 { base, depth, dev, fifo_space, wait_iterations: 0, wait_loops: 0 }
     }
 
     fn ports<'b>(&self, bus: &'b mut Bus) -> PortMap<'b> {
@@ -205,7 +197,7 @@ impl DevilPm2 {
         loop {
             self.wait_iterations += 1;
             let mut map = self.ports(bus);
-            let free = self.dev.read(&mut map, "fifo_space").unwrap();
+            let free = self.dev.read_id(&mut map, self.fifo_space, &[]).unwrap();
             if free >= need {
                 return;
             }
@@ -266,16 +258,8 @@ impl DevilPm2 {
 
     /// Copies a screen rectangle (3(#w) + 17 at 8/16 bpp; packed
     /// depths reach the hand driver's 2(#w) + 9).
-    pub fn copy_rect(
-        &mut self,
-        bus: &mut Bus,
-        sx: u32,
-        sy: u32,
-        dx: u32,
-        dy: u32,
-        w: u32,
-        h: u32,
-    ) {
+    #[allow(clippy::too_many_arguments)]
+    pub fn copy_rect(&mut self, bus: &mut Bus, sx: u32, sy: u32, dx: u32, dy: u32, w: u32, h: u32) {
         if self.depth == Depth::Bpp24 || self.depth == Depth::Bpp32 {
             self.wait_fifo(bus, 8);
             let mut map = self.ports(bus);

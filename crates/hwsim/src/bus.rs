@@ -98,10 +98,7 @@ impl Bus {
     /// bug.
     pub fn claim_io(&mut self, id: DeviceId, base: u64, len: u64) {
         assert!(
-            !self
-                .io_claims
-                .iter()
-                .any(|c| base < c.base + c.len && c.base < base + len),
+            !self.io_claims.iter().any(|c| base < c.base + c.len && c.base < base + len),
             "overlapping I/O claim at {base:#x}"
         );
         self.io_claims.push(Claim { base, len, device: id.0 });
@@ -114,10 +111,7 @@ impl Bus {
     /// Panics if the range overlaps an existing claim.
     pub fn claim_mem(&mut self, id: DeviceId, base: u64, len: u64) {
         assert!(
-            !self
-                .mem_claims
-                .iter()
-                .any(|c| base < c.base + c.len && c.base < base + len),
+            !self.mem_claims.iter().any(|c| base < c.base + c.len && c.base < base + len),
             "overlapping memory claim at {base:#x}"
         );
         self.mem_claims.push(Claim { base, len, device: id.0 });
@@ -164,17 +158,11 @@ impl Bus {
     // ---- port I/O ----
 
     fn io_lookup(&self, addr: u64) -> Option<(usize, u64)> {
-        self.io_claims
-            .iter()
-            .find(|c| c.contains(addr))
-            .map(|c| (c.device, addr - c.base))
+        self.io_claims.iter().find(|c| c.contains(addr)).map(|c| (c.device, addr - c.base))
     }
 
     fn mem_lookup(&self, addr: u64) -> Option<(usize, u64)> {
-        self.mem_claims
-            .iter()
-            .find(|c| c.contains(addr))
-            .map(|c| (c.device, addr - c.base))
+        self.mem_claims.iter().find(|c| c.contains(addr)).map(|c| (c.device, addr - c.base))
     }
 
     fn tick_device(&mut self, idx: usize) {
@@ -244,9 +232,8 @@ impl Bus {
     /// Block string input (`rep insw`-style): reads `buf.len()` words of
     /// `width` from one port into `buf`. Charged at block rates.
     pub fn ins(&mut self, addr: u64, width: Width, buf: &mut [u64]) {
-        self.clock.advance(
-            self.costs.io_block_setup_ns + self.costs.io_block_word_ns * buf.len() as f64,
-        );
+        self.clock
+            .advance(self.costs.io_block_setup_ns + self.costs.io_block_word_ns * buf.len() as f64);
         self.ledger.block_ops += 1;
         self.ledger.block_in_words += buf.len() as u64;
         match self.io_lookup(addr) {
@@ -265,9 +252,8 @@ impl Bus {
 
     /// Block string output (`rep outsw`-style).
     pub fn outs(&mut self, addr: u64, width: Width, buf: &[u64]) {
-        self.clock.advance(
-            self.costs.io_block_setup_ns + self.costs.io_block_word_ns * buf.len() as f64,
-        );
+        self.clock
+            .advance(self.costs.io_block_setup_ns + self.costs.io_block_word_ns * buf.len() as f64);
         self.ledger.block_ops += 1;
         self.ledger.block_out_words += buf.len() as u64;
         match self.io_lookup(addr) {
@@ -351,10 +337,10 @@ mod tests {
         fn io_read(&mut self, offset: u64, width: Width) -> u64 {
             match width {
                 Width::W8 => self.regs[offset as usize] as u64,
-                Width::W16 => u16::from_le_bytes([
-                    self.regs[offset as usize],
-                    self.regs[offset as usize + 1],
-                ]) as u64,
+                Width::W16 => {
+                    u16::from_le_bytes([self.regs[offset as usize], self.regs[offset as usize + 1]])
+                        as u64
+                }
                 Width::W32 => u32::from_le_bytes([
                     self.regs[offset as usize],
                     self.regs[offset as usize + 1],

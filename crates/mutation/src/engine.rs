@@ -73,21 +73,14 @@ fn count_lines(src: &str) -> usize {
 /// Runs the mutation analysis on hand-crafted C driver code.
 pub fn analyze_c(src: &str, externs: &[(String, Option<usize>)]) -> LangStats {
     let ext: Vec<(&str, Option<usize>)> = externs.iter().map(|(n, a)| (n.as_str(), *a)).collect();
-    assert_eq!(
-        minic::check(src, &ext),
-        CVerdict::Ok,
-        "the unmutated fixture must compile"
-    );
+    assert_eq!(minic::check(src, &ext), CVerdict::Ok, "the unmutated fixture must compile");
     let sites = c_sites(src);
     run(src, &sites, |mutant| minic::check(mutant, &ext).is_error())
 }
 
 /// Runs the mutation analysis on a Devil specification.
 pub fn analyze_devil(src: &str) -> LangStats {
-    assert!(
-        devil_sema::check_source(src, &[]).is_ok(),
-        "the unmutated specification must check"
-    );
+    assert!(devil_sema::check_source(src, &[]).is_ok(), "the unmutated specification must check");
     let sites = devil_sites(src);
     run(src, &sites, |mutant| devil_sema::check_source(mutant, &[]).is_err())
 }
@@ -139,10 +132,7 @@ pub fn stub_externs(spec_src: &str, prefix: &str) -> Vec<(String, Option<usize>)
         }
         if let TypeSem::Enum(en) = &var.ty {
             for arm in &en.arms {
-                out.push((
-                    format!("{prefix}_{}_{}", var.name.to_uppercase(), arm.sym),
-                    None,
-                ));
+                out.push((format!("{prefix}_{}_{}", var.name.to_uppercase(), arm.sym), None));
             }
         }
     }
@@ -221,11 +211,7 @@ mod tests {
         assert!(stats.mutants > 1000);
         // C's permissiveness: a large share of constant/operator
         // mutants compile silently.
-        assert!(
-            stats.undetected_per_site() > 5.0,
-            "ums = {}",
-            stats.undetected_per_site()
-        );
+        assert!(stats.undetected_per_site() > 5.0, "ums = {}", stats.undetected_per_site());
     }
 
     #[test]
@@ -234,13 +220,10 @@ mod tests {
         assert!(stats.sites > 60, "sites: {}", stats.sites);
         // The paper: mutation errors in Devil specifications are nearly
         // always detected (0.2 undetected per site for the busmouse).
+        assert!(stats.undetected_per_site() < 2.0, "ums = {}", stats.undetected_per_site());
         assert!(
-            stats.undetected_per_site() < 2.0,
-            "ums = {}",
             stats.undetected_per_site()
-        );
-        assert!(
-            stats.undetected_per_site() < analyze_c(crate::fixtures::BUSMOUSE_C, &[]).undetected_per_site()
+                < analyze_c(crate::fixtures::BUSMOUSE_C, &[]).undetected_per_site()
         );
     }
 
@@ -250,10 +233,7 @@ mod tests {
         let cdevil = analyze_c(crate::fixtures::BUSMOUSE_CDEVIL, &externs);
         let c = analyze_c(crate::fixtures::BUSMOUSE_C, &[]);
         let ratio = c.sites_with_undetected() / cdevil.sites_with_undetected();
-        assert!(
-            ratio > 1.5,
-            "undetected-site ratio C/CDevil = {ratio:.2} (paper: 5.9)"
-        );
+        assert!(ratio > 1.5, "undetected-site ratio C/CDevil = {ratio:.2} (paper: 5.9)");
     }
 
     #[test]

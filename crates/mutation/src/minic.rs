@@ -106,8 +106,8 @@ pub fn lex(src: &str) -> Result<Vec<CTok>, String> {
                 // Multi-char operators first.
                 let rest = &src[i..];
                 const OPS: &[&str] = &[
-                    "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=",
-                    "*=", "/=", "|=", "&=", "^=", "->", "++", "--", "%=",
+                    "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=",
+                    "/=", "|=", "&=", "^=", "->", "++", "--", "%=",
                 ];
                 if let Some(op) = OPS.iter().find(|op| rest.starts_with(**op)) {
                     out.push(CTok::Op((*op).to_string()));
@@ -153,9 +153,9 @@ pub fn check(src: &str, externs: &[(&str, Option<usize>)]) -> CVerdict {
         BUILTINS.iter().map(|(n, a)| (n.to_string(), *a)).collect();
     let mut objects: Vec<String> = vec![
         // C keywords and common driver types usable in the fragments.
-        "int", "unsigned", "char", "long", "short", "signed", "void", "if", "else", "while",
-        "for", "return", "static", "volatile", "do", "break", "continue", "define", "include",
-        "u8", "u16", "u32",
+        "int", "unsigned", "char", "long", "short", "signed", "void", "if", "else", "while", "for",
+        "return", "static", "volatile", "do", "break", "continue", "define", "include", "u8",
+        "u16", "u32",
     ]
     .into_iter()
     .map(String::from)
@@ -187,12 +187,10 @@ pub fn check(src: &str, externs: &[(&str, Option<usize>)]) -> CVerdict {
                             match &toks[j] {
                                 CTok::Op(op) if op == ")" => break,
                                 CTok::Op(op) if op == "," => {}
-                                CTok::Ident(p) => {
-                                    if !saw_param {
-                                        arity += 1;
-                                        saw_param = true;
-                                        objects.push(p.clone());
-                                    }
+                                CTok::Ident(p) if !saw_param => {
+                                    arity += 1;
+                                    saw_param = true;
+                                    objects.push(p.clone());
                                 }
                                 _ => {}
                             }
@@ -259,9 +257,28 @@ pub fn check(src: &str, externs: &[(&str, Option<usize>)]) -> CVerdict {
                 // macro body is ended by the next keyword or `#`).
                 if matches!(
                     name.as_str(),
-                    "int" | "unsigned" | "char" | "long" | "short" | "signed" | "void" | "if"
-                        | "else" | "while" | "for" | "return" | "static" | "volatile" | "do"
-                        | "break" | "continue" | "define" | "include" | "u8" | "u16" | "u32"
+                    "int"
+                        | "unsigned"
+                        | "char"
+                        | "long"
+                        | "short"
+                        | "signed"
+                        | "void"
+                        | "if"
+                        | "else"
+                        | "while"
+                        | "for"
+                        | "return"
+                        | "static"
+                        | "volatile"
+                        | "do"
+                        | "break"
+                        | "continue"
+                        | "define"
+                        | "include"
+                        | "u8"
+                        | "u16"
+                        | "u32"
                 ) {
                     prev_kind = PrevKind::Op;
                     i += 1;
@@ -310,11 +327,8 @@ pub fn check(src: &str, externs: &[(&str, Option<usize>)]) -> CVerdict {
                 }
                 // A declarator (after `int`, `#define`, ...) is not a
                 // value: the macro body / initializer follows directly.
-                prev_kind = if is_decl_name_context(&toks, i) {
-                    PrevKind::Op
-                } else {
-                    PrevKind::Value
-                };
+                prev_kind =
+                    if is_decl_name_context(&toks, i) { PrevKind::Op } else { PrevKind::Value };
             }
             CTok::Num => {
                 if prev_kind == PrevKind::Value {
@@ -337,8 +351,19 @@ pub fn check(src: &str, externs: &[(&str, Option<usize>)]) -> CVerdict {
                 // !, ~, *, & are fine anywhere).
                 let binary_only = matches!(
                     op.as_str(),
-                    "/" | "%" | "<<" | ">>" | "<=" | ">=" | "==" | "!=" | "&&" | "||" | "^"
-                        | "," | "?" | ":"
+                    "/" | "%"
+                        | "<<"
+                        | ">>"
+                        | "<="
+                        | ">="
+                        | "=="
+                        | "!="
+                        | "&&"
+                        | "||"
+                        | "^"
+                        | ","
+                        | "?"
+                        | ":"
                 );
                 if binary_only && prev_kind != PrevKind::Value {
                     return CVerdict::Error(format!("misplaced operator `{op}`"));

@@ -31,9 +31,9 @@ impl SiteKind {
                 'q', 'r', 's', 't', 'u', 'v', 'w', 'x', 'y', 'z', '_',
             ],
             SiteKind::DecInt => &['0', '1', '2', '3', '4', '5', '6', '7', '8', '9'],
-            SiteKind::HexInt => &[
-                '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', 'a', 'b', 'c', 'd', 'e', 'f',
-            ],
+            SiteKind::HexInt => {
+                &['0', '1', '2', '3', '4', '5', '6', '7', '8', '9', 'a', 'b', 'c', 'd', 'e', 'f']
+            }
             SiteKind::BitLit => &['0', '1', '*', '.'],
             SiteKind::Operator => &['|', '&', '<', '>', '=', '!', '+', '-', '#', '^', '~'],
         }
@@ -191,8 +191,17 @@ pub fn devil_sites(src: &str) -> Vec<Site> {
                 }
             }
             T::Quoted(_) => SiteKind::BitLit,
-            T::Eq | T::EqEq | T::NotEq | T::Hash | T::FatArrow | T::ReadArrow | T::BothArrow
-            | T::Star | T::AndAnd | T::OrOr | T::Not => SiteKind::Operator,
+            T::Eq
+            | T::EqEq
+            | T::NotEq
+            | T::Hash
+            | T::FatArrow
+            | T::ReadArrow
+            | T::BothArrow
+            | T::Star
+            | T::AndAnd
+            | T::OrOr
+            | T::Not => SiteKind::Operator,
             _ => continue, // keywords/punctuation are structure, not sites
         };
         sites.push(Site { start, end, text, kind });
@@ -228,8 +237,20 @@ pub fn c_sites(src: &str) -> Vec<Site> {
                 // Keywords are structure, not sites.
                 if !matches!(
                     text.as_str(),
-                    "int" | "unsigned" | "char" | "long" | "short" | "if" | "else" | "while"
-                        | "for" | "return" | "define" | "include" | "static" | "volatile"
+                    "int"
+                        | "unsigned"
+                        | "char"
+                        | "long"
+                        | "short"
+                        | "if"
+                        | "else"
+                        | "while"
+                        | "for"
+                        | "return"
+                        | "define"
+                        | "include"
+                        | "static"
+                        | "volatile"
                 ) {
                     sites.push(Site { start, end: i, text, kind: SiteKind::Ident });
                 }
@@ -316,7 +337,7 @@ mod tests {
         assert!(kinds.contains(&SiteKind::DecInt)); // 1, 8
         assert!(kinds.contains(&SiteKind::BitLit)); // '1*'
         assert!(kinds.contains(&SiteKind::Operator)); // =
-        // Keywords (`register`, `mask`, `bit`) are not sites.
+                                                      // Keywords (`register`, `mask`, `bit`) are not sites.
         assert!(!sites.iter().any(|s| s.text == "register"));
     }
 

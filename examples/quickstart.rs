@@ -3,8 +3,8 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use devil::runtime::{DeviceInstance, MappedPort, PortMap};
 use devil::hwsim::{Bus, Device, Width};
+use devil::runtime::{DeviceInstance, MappedPort, PortMap};
 
 /// A three-register toy device: a status byte, a control byte, and a
 /// data byte behind an index bit.

@@ -6,8 +6,8 @@ use devil::runtime::{DeviceInstance, MappedPort, PortMap};
 #[test]
 fn every_spec_flows_through_parse_check_lower_emit() {
     for (name, src) in devil::drivers::specs::ALL {
-        let model = devil::sema::check_source(src, &[])
-            .unwrap_or_else(|e| panic!("{name} failed: {e:?}"));
+        let model =
+            devil::sema::check_source(src, &[]).unwrap_or_else(|e| panic!("{name} failed: {e:?}"));
         let ir = devil::ir::lower(&model);
         assert_eq!(ir.vars.len(), model.variables.len());
         let c = devil::codegen::emit_c(&ir, name);
@@ -68,8 +68,11 @@ fn generated_interface_enforces_the_devil_contract() {
     iface.write_indexed(&mut ports, "XD", &[7], 0x7e).unwrap();
     assert_eq!(iface.read_indexed(&mut ports, "ID", &[5]).unwrap(), 0x3c);
     assert_eq!(iface.read_indexed(&mut ports, "XD", &[7]).unwrap(), 0x7e);
-    assert_eq!(iface.read_indexed(&mut ports, "ID", &[23]).unwrap() & 0x08, 0x08,
-        "gateway register holds the XRAE pattern");
+    assert_eq!(
+        iface.read_indexed(&mut ports, "ID", &[23]).unwrap() & 0x08,
+        0x08,
+        "gateway register holds the XRAE pattern"
+    );
     // X25 is addressable; X18 is not even expressible.
     iface.write_indexed(&mut ports, "XD", &[25], 0x11).unwrap();
     assert!(iface.write_indexed(&mut ports, "XD", &[18], 1).is_err());
