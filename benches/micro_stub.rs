@@ -72,13 +72,46 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| black_box(inst.read(&mut dev, "v").unwrap()))
     });
 
-    // A full structure read (8 fake I/O operations + extraction).
+    // The Figure 3 hot loop: a full busmouse structure read (4 index
+    // writes + 4 data reads) plus one field extraction, three ways.
+    //
+    // Hand-written baseline: the Figure 2 loop against the same fake.
+    g.bench_function("hand_struct_read", |b| {
+        let mut dev = FakeAccess::new();
+        b.iter(|| {
+            let mut raw = [0u64; 4];
+            for (i, r) in raw.iter_mut().enumerate() {
+                dev.write(0, 2, 8, 0x80 | ((i as u64) << 5));
+                *r = dev.read(0, 0, 8);
+            }
+            let dx = ((raw[1] & 0xf) << 4) | (raw[0] & 0xf);
+            black_box(dx as i8);
+        })
+    });
+
+    // The general interpreter walking the order, running pre-actions
+    // and resolving names per field.
     g.bench_function("interp_struct_read", |b| {
         let mut inst = instance();
+        inst.set_fast_plans(false);
         let mut dev = FakeAccess::new();
         b.iter(|| {
             inst.read_struct(&mut dev, "mouse_state").unwrap();
             black_box(inst.get_field("dx").unwrap());
+        })
+    });
+
+    // The precompiled struct plan: 8 straight-line steps, field
+    // assembled from flat slots by id — no names, no actions, no
+    // hashing.
+    g.bench_function("plan_struct_read", |b| {
+        let mut inst = instance();
+        let sid = inst.ir().struct_id("mouse_state").unwrap();
+        let dx = inst.ir().var_id("dx").unwrap();
+        let mut dev = FakeAccess::new();
+        b.iter(|| {
+            inst.read_struct_id(&mut dev, sid).unwrap();
+            black_box(inst.get_field_id(dx).unwrap());
         })
     });
 

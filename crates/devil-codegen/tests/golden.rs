@@ -1,6 +1,7 @@
 //! Golden tests: the generated stub text for the busmouse (the paper's
-//! Figure 3 artifact) is pinned under `goldens/`. After an intentional
-//! emitter change, regenerate with:
+//! Figure 3 artifact) and the 8237 DMA controller (the serialization
+//! example) is pinned under `goldens/`. After an intentional emitter
+//! change, regenerate with:
 //!
 //! ```text
 //! UPDATE_GOLDENS=1 cargo test -p devil-codegen --test golden
@@ -10,6 +11,7 @@ use std::fs;
 use std::path::PathBuf;
 
 const SPEC: &str = include_str!("../../../specs/busmouse.dil");
+const SPEC_DMA: &str = include_str!("../../../specs/dma8237.dil");
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("goldens").join(name)
@@ -46,6 +48,34 @@ fn c_output_matches_golden() {
 fn rust_output_matches_golden() {
     let got = devil_codegen::compile_to_rust(SPEC).unwrap();
     assert_matches_golden("busmouse.rs", &got);
+}
+
+/// A second C golden on a serialization-heavy device, so struct-plan
+/// and emitter refactors cannot silently change generated code beyond
+/// the busmouse's shape.
+#[test]
+fn dma8237_c_output_matches_golden() {
+    let got = devil_codegen::compile_to_c(SPEC_DMA, "dma").unwrap();
+    assert_matches_golden("dma8237_dma.h", &got);
+}
+
+#[test]
+fn dma8237_golden_serializes_low_byte_first() {
+    let h = devil_codegen::compile_to_c(SPEC_DMA, "dma").unwrap();
+    // The `serialized as { addr0_low; addr0_high; }` plan must survive
+    // into the emitted accessor: low write before high write.
+    let mut lines = h.lines().skip_while(|l| !l.starts_with("#define dma_set_addr0"));
+    let mut set = String::new();
+    for l in lines.by_ref() {
+        set.push_str(l);
+        set.push('\n');
+        if !l.ends_with('\\') {
+            break;
+        }
+    }
+    let low = set.find("dma__write_addr0_low").expect("low byte written");
+    let high = set.find("dma__write_addr0_high").expect("high byte written");
+    assert!(low < high, "serialization order lost:\n{set}");
 }
 
 #[test]

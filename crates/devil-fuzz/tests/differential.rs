@@ -1,0 +1,79 @@
+//! Differential fuzzing of the runtime's fast-plan path against the
+//! general interpreter, across the whole embedded specification
+//! library.
+//!
+//! Each case draws a raw word stream, decodes it into a per-device op
+//! sequence (reads, writes, structure round trips, block transfers,
+//! device-side presets, deliberate out-of-domain arguments) and
+//! replays it through both interpreter modes, asserting identical bus
+//! traffic, results, errors and final state. A failing case prints a
+//! `PROPTEST_SEED` that replays it exactly; CI's scheduled job raises
+//! the case count via `PROPTEST_CASES`.
+
+use devil_fuzz::{check_equivalence, decode, sweep_ops};
+use devil_ir::DeviceIr;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The 8-spec library, lowered once.
+fn irs() -> &'static Vec<(&'static str, DeviceIr)> {
+    static IRS: OnceLock<Vec<(&'static str, DeviceIr)>> = OnceLock::new();
+    IRS.get_or_init(|| {
+        drivers::specs::ALL
+            .iter()
+            .map(|(name, src)| {
+                let model = devil_sema::check_source(src, &[]).expect("embedded spec checks");
+                (*name, devil_ir::lower(&model))
+            })
+            .collect()
+    })
+}
+
+/// The deterministic coverage sweep: every variable, structure and
+/// block transfer of every device, against both interpreter modes.
+#[test]
+fn coverage_sweep_agrees_on_all_devices() {
+    for (name, ir) in irs() {
+        let ops = sweep_ops(ir);
+        assert!(ops.len() > 4, "{name}: sweep generated {} ops", ops.len());
+        if let Err(e) = check_equivalence(ir, &ops) {
+            panic!("{name}: fast and general paths diverge on the sweep\n{e}");
+        }
+    }
+}
+
+/// Steady-state plans really are hot on the spec library: every device
+/// compiles at least one access plan, and the Figure 3 devices compile
+/// their struct/family plans specifically.
+#[test]
+fn spec_library_compiles_the_expected_plans() {
+    for (name, ir) in irs() {
+        let planned =
+            ir.vars.iter().filter(|v| v.read_plan.is_some() || v.write_plan.is_some()).count();
+        assert!(planned > 0, "{name}: no variable compiled a plan");
+    }
+    let busmouse = &irs().iter().find(|(n, _)| *n == "busmouse").unwrap().1;
+    let st = busmouse.strct(busmouse.struct_id("mouse_state").unwrap());
+    assert!(st.read_plan.is_some(), "busmouse mouse_state must plan-compile (Figure 3)");
+    let cs = &irs().iter().find(|(n, _)| *n == "cs4236b").unwrap().1;
+    let id = cs.var(cs.var_id("ID").unwrap());
+    assert!(id.read_plan.is_some(), "cs4236b indexed registers must plan-compile");
+    assert!(id.write_plan.is_some());
+    let xd = cs.var(cs.var_id("XD").unwrap());
+    assert!(xd.read_plan.is_some(), "cs4236b extended registers must plan-compile");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random op sequences over every embedded device: the fast-plan
+    /// and general interpreters must be observationally identical.
+    #[test]
+    fn fast_plan_and_general_interpreter_agree(words in collection::vec(any::<u64>(), 1..48)) {
+        for (name, ir) in irs() {
+            let ops = decode(ir, &words);
+            let r = check_equivalence(ir, &ops);
+            prop_assert!(r.is_ok(), "{}: {}", name, r.err().unwrap_or_default());
+        }
+    }
+}

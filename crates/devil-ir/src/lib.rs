@@ -10,13 +10,33 @@
 //!   across concatenations),
 //! * **access orders** honouring `serialized as` plans (with their
 //!   conditional steps) and the default chunk/field orders,
-//! * **cache layout**: one slot per register (plus per-instance slots
-//!   for register families) and one cell per private memory variable.
+//! * **cache layout**: one slot per register, including an indexed
+//!   **slot range** per register family (base + stride arithmetic over
+//!   the parameter domains, so family instances cache without hashing)
+//!   and one cell per private memory variable,
+//! * **precompiled plans**: a compile-time symbolic execution of the
+//!   general interpreter flattens each access — including foldable
+//!   pre/post/set actions, structure flushes and family indexing —
+//!   into a straight-line [`PlanStep`] list.
 
 use devil_sema::model::{
-    Action, Behavior, CheckedDevice, ChunkArg, FamilyParam, Neutral, Offset, PortBinding, RegId,
-    SerStep, StructId, TypeSem, VarId,
+    Action, ActionTarget, ActionValue, Behavior, CheckedDevice, ChunkArg, FamilyParam, Neutral,
+    Offset, PortBinding, RegId, SerStep, StructId, TypeSem, VarId,
 };
+use std::sync::Arc;
+
+/// Cap on the number of flat cache slots allocated to one register
+/// family (the product of its parameter-domain sizes). Families with
+/// larger domains keep the runtime's hashed fallback cache.
+const FAMILY_SLOT_CAP: u128 = 4096;
+
+/// Step budget for one compiled plan: accesses whose expansion exceeds
+/// this (deep automata, huge serializations) keep the general path.
+const PLAN_STEP_BUDGET: usize = 96;
+
+/// Action recursion budget, mirroring the runtime's `MAX_DEPTH`: a
+/// specification the runtime would reject as cyclic compiles no plan.
+const PLAN_MAX_DEPTH: u32 = 32;
 
 /// The lowered device: everything indexed and precomputed.
 #[derive(Clone, Debug)]
@@ -33,8 +53,8 @@ pub struct DeviceIr {
     pub structs: Vec<StructIr>,
     /// Number of memory cells (private unmapped variables).
     pub mem_cells: usize,
-    /// Number of flat cache slots (one per non-family register). Family
-    /// registers are cached per argument tuple by the runtime instead.
+    /// Number of flat cache slots: one per non-family register plus one
+    /// per family-register instance (domains up to the slot cap).
     pub cache_slots: usize,
     /// Interned name table: `(name, id)` sorted by name, for
     /// hash-free variable resolution.
@@ -45,46 +65,240 @@ pub struct DeviceIr {
     struct_names: Vec<(String, StructId)>,
 }
 
-/// One step of a precompiled access plan: a single register access with
-/// every mask, offset and cache slot resolved at lowering time, so the
-/// steady-state interpreter does no hashing and no plan evaluation.
+/// A value available to a plan step at execution time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanValue {
+    /// The value being written by the access (the stub's argument).
+    Input,
+    /// A constant folded at lowering time.
+    Const(u64),
+    /// The caller's family argument `args[i]`.
+    Arg(usize),
+}
+
+impl PlanValue {
+    /// Resolves the value against the call's arguments and input.
+    #[inline]
+    pub fn resolve(self, args: &[u64], input: u64) -> u64 {
+        match self {
+            PlanValue::Input => input,
+            PlanValue::Const(c) => c,
+            PlanValue::Arg(i) => args[i],
+        }
+    }
+}
+
+/// A plan step's port offset.
+#[derive(Clone, Copy, Debug)]
+pub enum PlanOffset {
+    /// A constant offset.
+    Const(u64),
+    /// The caller's family argument `args[i]`.
+    Arg(usize),
+}
+
+impl PlanOffset {
+    /// Resolves the offset against the call's arguments.
+    #[inline]
+    pub fn resolve(self, args: &[u64]) -> u64 {
+        match self {
+            PlanOffset::Const(c) => c,
+            PlanOffset::Arg(i) => args[i],
+        }
+    }
+}
+
+/// One family-parameter dimension of a register's slot range.
 #[derive(Clone, Debug)]
-pub struct PlanStep {
-    /// The accessed register.
-    pub reg: RegId,
-    /// Flat cache slot of the register.
-    pub slot: usize,
-    /// Port index.
-    pub port: u32,
-    /// Resolved constant offset within the port.
-    pub offset: u64,
-    /// Access width in bits.
-    pub size: u32,
-    /// Write composition: bits of the cached raw value to keep
-    /// (clears this variable's segments and trigger neighbours' bits).
+pub struct FamilyDim {
+    /// Slots advanced per domain-index increment.
+    pub stride: usize,
+    /// The parameter domain as `(lo, hi, index_base)` inclusive ranges.
+    pub ranges: Vec<(u64, u64, usize)>,
+    /// Total number of domain values.
+    pub count: usize,
+}
+
+impl FamilyDim {
+    /// The dense domain index of `v`, or `None` outside the domain.
+    #[inline]
+    pub fn index_of(&self, v: u64) -> Option<usize> {
+        self.ranges
+            .iter()
+            .find(|&&(lo, hi, _)| (lo..=hi).contains(&v))
+            .map(|&(lo, _, base)| base + (v - lo) as usize)
+    }
+}
+
+/// The flat cache-slot range of a register family: instance slots are
+/// `base + Σ index(argᵢ)·strideᵢ` — pure arithmetic, no hashing.
+#[derive(Clone, Debug)]
+pub struct FamilySlots {
+    /// First slot of the range.
+    pub base: usize,
+    /// Number of slots (the product of the domain sizes).
+    pub count: usize,
+    /// One dimension per family parameter.
+    pub dims: Vec<FamilyDim>,
+}
+
+impl FamilySlots {
+    /// The flat slot of one instance; `None` when an argument falls
+    /// outside the declared domain.
+    pub fn slot_of(&self, args: &[u64]) -> Option<usize> {
+        if args.len() != self.dims.len() {
+            return None;
+        }
+        let mut slot = self.base;
+        for (dim, &a) in self.dims.iter().zip(args) {
+            slot += dim.index_of(a)? * dim.stride;
+        }
+        Some(slot)
+    }
+}
+
+/// A plan step's cache slot, resolved from family arguments.
+#[derive(Clone, Debug)]
+pub enum PlanSlot {
+    /// A concrete register's slot.
+    Fixed(usize),
+    /// A family instance: `base` plus one domain-index times stride per
+    /// argument dimension (constant arguments are folded into `base`).
+    Indexed {
+        /// Folded base slot.
+        base: usize,
+        /// `(argument index, dimension)` pairs.
+        dims: Vec<(usize, FamilyDim)>,
+    },
+}
+
+impl PlanSlot {
+    /// Resolves the slot. Plan compilation proved every reachable
+    /// argument indexable, so resolution cannot fail on validated args.
+    #[inline]
+    pub fn resolve(&self, args: &[u64]) -> usize {
+        match self {
+            PlanSlot::Fixed(s) => *s,
+            PlanSlot::Indexed { base, dims } => {
+                let mut slot = *base;
+                for (arg, dim) in dims {
+                    slot += dim.index_of(args[*arg]).expect("family argument validated by caller")
+                        * dim.stride;
+                }
+                slot
+            }
+        }
+    }
+}
+
+/// The inclusive-exclusive slot range a [`PlanSlot`] may resolve to.
+fn slot_span(s: &PlanSlot) -> (usize, usize) {
+    match s {
+        PlanSlot::Fixed(i) => (*i, i + 1),
+        PlanSlot::Indexed { base, dims } => {
+            let span: usize = dims.iter().map(|(_, d)| d.count.saturating_sub(1) * d.stride).sum();
+            (*base, base + span + 1)
+        }
+    }
+}
+
+/// Conservative may-alias test between two plan slots.
+fn slots_may_alias(a: &PlanSlot, b: &PlanSlot) -> bool {
+    let (al, ah) = slot_span(a);
+    let (bl, bh) = slot_span(b);
+    al < bh && bl < ah
+}
+
+/// One value-bearing segment of a write step (constant values are
+/// folded into [`WriteCompose::const_or`] instead).
+#[derive(Clone, Debug)]
+pub struct WriteSeg {
+    /// Register-bit placement.
+    pub seg: FieldSeg,
+    /// The inserted value (`Input` or `Arg`).
+    pub value: PlanValue,
+}
+
+/// Write composition of one plan step: the raw value sent to the
+/// device is `((cached & keep_and) | const_or | segs…) & out_and |
+/// out_or`, exactly the general interpreter's store/compose/mask
+/// pipeline folded into constants.
+#[derive(Clone, Debug)]
+pub struct WriteCompose {
+    /// Cached bits to keep (clears written segments and trigger
+    /// neighbours' bits).
     pub keep_and: u64,
-    /// Write composition: neutral bits of trigger neighbours to force.
-    pub trigger_or: u64,
-    /// This variable's segments on the register (value insertion).
-    pub segs: Vec<FieldSeg>,
+    /// Folded constants: trigger-neutral substitutions plus
+    /// constant-valued segment inserts.
+    pub const_or: u64,
+    /// Runtime-valued segment inserts.
+    pub segs: Vec<WriteSeg>,
     /// Register AND-mask applied to the outgoing write.
     pub out_and: u64,
     /// Register OR-mask applied to the outgoing write.
     pub out_or: u64,
 }
 
+/// A register access of a compiled plan.
+#[derive(Clone, Debug)]
+pub struct AccessStep {
+    /// The accessed register.
+    pub reg: RegId,
+    /// Cache slot of the accessed instance.
+    pub slot: PlanSlot,
+    /// Port index.
+    pub port: u32,
+    /// Port offset.
+    pub offset: PlanOffset,
+    /// Access width in bits.
+    pub size: u32,
+}
+
+/// One straight-line step of a compiled plan.
+#[derive(Clone, Debug)]
+pub enum PlanStep {
+    /// Device read into the register's cache slot.
+    Read(AccessStep),
+    /// Composed, masked device write updating the cache slot.
+    Write(AccessStep, WriteCompose),
+    /// Private-memory update (a folded mem-variable action).
+    SetCell {
+        /// Target memory cell.
+        cell: usize,
+        /// Stored value.
+        value: PlanValue,
+    },
+}
+
+impl PlanStep {
+    fn slot(&self) -> Option<&PlanSlot> {
+        match self {
+            PlanStep::Read(a) | PlanStep::Write(a, _) => Some(&a.slot),
+            PlanStep::SetCell { .. } => None,
+        }
+    }
+}
+
 /// A precompiled linear access plan for one variable direction.
 ///
-/// Compiled only for "simple" variables: non-family, backed exclusively
-/// by non-family registers with no pre/post/set actions, with a static
-/// (condition-free) access order. Everything else falls back to the
-/// general interpreter.
+/// Compiled whenever the whole access — including pre/post/set actions
+/// and structure flushes it triggers — is statically a straight line of
+/// register accesses and memory-cell updates. Conditional serialization
+/// steps, action values read from other variables, hashed family caches
+/// and over-budget expansions fall back to the general interpreter.
 #[derive(Clone, Debug, Default)]
 pub struct AccessPlan {
-    /// Register accesses, in plan order.
+    /// Steps, in execution order.
     pub steps: Vec<PlanStep>,
-    /// `(slot, segment)` pairs assembling the variable from the cache.
-    pub assemble: Vec<(usize, FieldSeg)>,
+    /// `(slot, segment)` pairs assembling the read value from the cache
+    /// (empty for write plans).
+    pub assemble: Vec<(PlanSlot, FieldSeg)>,
+    /// The deepest action-recursion level the general interpreter would
+    /// reach executing this access from depth 0. The runtime only takes
+    /// a plan when the current depth plus this bound stays within its
+    /// recursion limit, so a plan can never succeed where the general
+    /// path would report `RecursionLimit`.
+    pub max_depth: u32,
 }
 
 /// A port descriptor.
@@ -169,9 +383,12 @@ pub struct RegIr {
     /// Whether any variable on this register is volatile (the register's
     /// cached value may go stale on its own).
     pub volatile: bool,
-    /// Flat cache slot for non-family registers; `None` for families,
-    /// which the runtime caches per argument tuple.
+    /// Flat cache slot for non-family registers; `None` for families.
     pub slot: Option<usize>,
+    /// Indexed slot range for family registers whose domain fits the
+    /// slot cap; `None` for concrete registers and oversized families
+    /// (which the runtime caches in a hashed fallback).
+    pub family_slots: Option<FamilySlots>,
 }
 
 /// A lowered variable.
@@ -208,12 +425,15 @@ pub struct VarIr {
     pub readable: bool,
     /// Whether the variable is writable.
     pub writable: bool,
-    /// Precompiled read plan, when the variable qualifies. Shared via
+    /// Precompiled read plan, when the access qualifies. Shared via
     /// `Arc` so cloning a `VarIr` (the interpreter's general path does)
     /// never deep-copies a plan.
-    pub read_plan: Option<std::sync::Arc<AccessPlan>>,
-    /// Precompiled write plan, when the variable qualifies.
-    pub write_plan: Option<std::sync::Arc<AccessPlan>>,
+    pub read_plan: Option<Arc<AccessPlan>>,
+    /// Precompiled write plan, when the access qualifies.
+    pub write_plan: Option<Arc<AccessPlan>>,
+    /// `(slot, segment)` pairs assembling the variable from fixed cache
+    /// slots — the hash-free cached-getter path for structure fields.
+    pub slot_assemble: Option<Vec<(usize, FieldSeg)>>,
 }
 
 impl RegIr {
@@ -250,6 +470,12 @@ pub struct StructIr {
     pub read_order: Vec<SerStep>,
     /// Register access order for a structure write.
     pub write_order: Vec<SerStep>,
+    /// Precompiled straight-line structure read (the Figure 3 hot
+    /// loop), when every step — index-register pre-writes included —
+    /// is statically decidable.
+    pub read_plan: Option<Arc<AccessPlan>>,
+    /// Precompiled structure write (cache-composed flush).
+    pub write_plan: Option<Arc<AccessPlan>>,
 }
 
 /// Lowers a checked device to IR.
@@ -258,19 +484,20 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
         model.ports.iter().map(|p| PortIr { name: p.name.clone(), width: p.width }).collect();
 
     // Registers: masks, flat cache slots and (initially empty) field
-    // lists. Non-family registers get one slot each.
+    // lists. Non-family registers get one slot each; families with
+    // enumerable domains get a contiguous indexed range.
     let mut cache_slots = 0usize;
     let mut regs: Vec<RegIr> = model
         .registers
         .iter()
         .map(|r| {
             let (or_mask, and_mask) = r.forced_masks();
-            let slot = if r.params.is_empty() {
+            let (slot, family_slots) = if r.params.is_empty() {
                 let s = cache_slots;
                 cache_slots += 1;
-                Some(s)
+                (Some(s), None)
             } else {
-                None
+                (None, family_slot_range(&r.params, &mut cache_slots))
             };
             RegIr {
                 name: r.name.clone(),
@@ -286,6 +513,7 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
                 fields: Vec::new(),
                 volatile: false,
                 slot,
+                family_slots,
             }
         })
         .collect();
@@ -348,6 +576,8 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
             .as_ref()
             .map(|cs| cs.iter().all(|c| model.reg(c.reg).writable()))
             .unwrap_or(true);
+        let slot_assemble =
+            segs.iter().map(|s| regs[s.reg.0 as usize].slot.map(|sl| (sl, s.seg))).collect();
         vars.push(VarIr {
             name: v.name.clone(),
             private: v.private,
@@ -366,19 +596,12 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
             writable,
             read_plan: None,
             write_plan: None,
+            slot_assemble,
         });
     }
 
-    // Second pass: precompile access plans now that every register's
-    // fields (and therefore trigger layouts) are known.
-    for vi in 0..vars.len() {
-        let (read_plan, write_plan) = compile_plans(VarId(vi as u32), &vars, &regs);
-        vars[vi].read_plan = read_plan;
-        vars[vi].write_plan = write_plan;
-    }
-
     // Structures: default order = registers of fields in field order.
-    let structs: Vec<StructIr> = model
+    let mut structs: Vec<StructIr> = model
         .structures
         .iter()
         .map(|s| {
@@ -397,9 +620,31 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
                 Some(plan) => (plan.steps.clone(), plan.steps.clone()),
                 None => (default_order.clone(), default_order),
             };
-            StructIr { name: s.name.clone(), fields: s.fields.clone(), read_order, write_order }
+            StructIr {
+                name: s.name.clone(),
+                fields: s.fields.clone(),
+                read_order,
+                write_order,
+                read_plan: None,
+                write_plan: None,
+            }
         })
         .collect();
+
+    // Final pass: symbolically execute every access now that registers,
+    // variables and structures (and thus trigger layouts and flush
+    // orders) are fully known.
+    for vi in 0..vars.len() {
+        let (read_plan, write_plan) = compile_var_plans(VarId(vi as u32), &vars, &regs, &structs);
+        vars[vi].read_plan = read_plan;
+        vars[vi].write_plan = write_plan;
+    }
+    for si in 0..structs.len() {
+        let (read_plan, write_plan) =
+            compile_struct_plans(StructId(si as u32), &vars, &regs, &structs);
+        structs[si].read_plan = read_plan;
+        structs[si].write_plan = write_plan;
+    }
 
     let mut var_names: Vec<(String, VarId)> =
         vars.iter().enumerate().map(|(i, v)| (v.name.clone(), VarId(i as u32))).collect();
@@ -428,91 +673,522 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
     }
 }
 
-/// Compiles the read/write plans for one variable, when it qualifies.
-///
-/// A direction qualifies when the access can be proven at lowering time
-/// to be a linear sequence of plain register accesses: the variable is
-/// non-family (no `set` actions for writes), every backing register is
-/// non-family with empty pre/post/set action lists and a constant
-/// offset, and the access order contains no conditional steps. The
-/// trigger-neighbour neutral substitution folds into two constants per
-/// step, so the runtime's steady state is mask/shift arithmetic only.
-fn compile_plans(
-    vid: VarId,
-    vars: &[VarIr],
-    regs: &[RegIr],
-) -> (Option<std::sync::Arc<AccessPlan>>, Option<std::sync::Arc<AccessPlan>>) {
-    let var = &vars[vid.0 as usize];
-    if !var.params.is_empty() || var.mem_cell.is_some() {
-        return (None, None);
+/// Allocates the indexed slot range of one register family, or `None`
+/// when the domain product exceeds [`FAMILY_SLOT_CAP`].
+fn family_slot_range(params: &[FamilyParam], cache_slots: &mut usize) -> Option<FamilySlots> {
+    let counts: Vec<u128> = params
+        .iter()
+        .map(|p| p.values.iter().map(|&(lo, hi)| (hi - lo) as u128 + 1).sum())
+        .collect();
+    let total: u128 = counts.iter().product();
+    if total == 0 || total > FAMILY_SLOT_CAP {
+        return None;
     }
-    // Every segment must target a slotted (non-family) register.
-    let assemble: Option<Vec<(usize, FieldSeg)>> =
-        var.segs.iter().map(|s| regs[s.reg.0 as usize].slot.map(|slot| (slot, s.seg))).collect();
-    let Some(assemble) = assemble else { return (None, None) };
+    // Row-major: the last parameter varies fastest.
+    let mut dims: Vec<FamilyDim> = Vec::with_capacity(params.len());
+    let mut stride = total as usize;
+    for (p, &count) in params.iter().zip(&counts) {
+        stride /= count as usize;
+        let mut ranges = Vec::with_capacity(p.values.len());
+        let mut base = 0usize;
+        for &(lo, hi) in &p.values {
+            ranges.push((lo, hi, base));
+            base += (hi - lo) as usize + 1;
+        }
+        dims.push(FamilyDim { stride, ranges, count: count as usize });
+    }
+    let base = *cache_slots;
+    *cache_slots += total as usize;
+    Some(FamilySlots { base, count: total as usize, dims })
+}
 
-    let compile = |order: &[SerStep], write: bool| -> Option<AccessPlan> {
-        let mut steps = Vec::with_capacity(order.len());
-        for step in order {
-            let SerStep::Reg(rid) = step else { return None };
-            let reg = &regs[rid.0 as usize];
-            let slot = reg.slot?;
-            if !reg.pre.is_empty() || !reg.post.is_empty() || !reg.set.is_empty() {
+/// Flattens a serialization order to register ids; `None` when it has
+/// conditional steps (which depend on run-time cache state).
+fn regs_of(order: &[SerStep]) -> Option<Vec<RegId>> {
+    order
+        .iter()
+        .map(|s| match s {
+            SerStep::Reg(r) => Some(*r),
+            SerStep::If { .. } => None,
+        })
+        .collect()
+}
+
+/// Compile-time symbolic execution of the general interpreter.
+///
+/// Walks the exact recursion `devil-runtime` performs for an access and
+/// records the device operations as straight-line steps. Anything not
+/// statically decidable — conditional serialization, action values read
+/// from other variables, hashed family caches, out-of-domain arguments,
+/// over-budget expansion — aborts compilation (`None`), and the access
+/// keeps the general path.
+struct PlanBuilder<'a> {
+    vars: &'a [VarIr],
+    regs: &'a [RegIr],
+    structs: &'a [StructIr],
+    /// The compiled access's family parameters: the domains behind
+    /// [`PlanValue::Arg`] references.
+    params: &'a [FamilyParam],
+    steps: Vec<PlanStep>,
+    /// Deepest recursion level visited, with the exact accounting of
+    /// the general interpreter (see [`AccessPlan::max_depth`]).
+    max_depth: u32,
+    /// Slots that must not be touched until their own write step is
+    /// emitted: the general path composes a register write from the
+    /// cache *before* running its pre-actions and stores variable bits
+    /// before the register loop, while a plan composes at execution
+    /// time — an interleaved touch of a pending slot would diverge.
+    guarded: Vec<Option<PlanSlot>>,
+}
+
+impl<'a> PlanBuilder<'a> {
+    fn new(
+        vars: &'a [VarIr],
+        regs: &'a [RegIr],
+        structs: &'a [StructIr],
+        params: &'a [FamilyParam],
+    ) -> Self {
+        PlanBuilder {
+            vars,
+            regs,
+            structs,
+            params,
+            steps: Vec::new(),
+            max_depth: 0,
+            guarded: Vec::new(),
+        }
+    }
+
+    /// Records a visited recursion level; bails past the budget (the
+    /// general interpreter would report `RecursionLimit`).
+    fn note_depth(&mut self, depth: u32) -> Option<()> {
+        self.max_depth = self.max_depth.max(depth);
+        if depth > PLAN_MAX_DEPTH {
+            return None;
+        }
+        Some(())
+    }
+
+    /// Appends a step, enforcing the budget and the pending-slot guard.
+    fn emit(&mut self, step: PlanStep) -> Option<()> {
+        if self.steps.len() >= PLAN_STEP_BUDGET {
+            return None;
+        }
+        if let Some(slot) = step.slot() {
+            if self.guarded.iter().flatten().any(|g| slots_may_alias(g, slot)) {
                 return None;
             }
-            let binding = if write { reg.write.as_ref()? } else { reg.read.as_ref()? };
-            let Offset::Const(offset) = binding.offset else { return None };
-            // This variable's own segments on the register.
-            let mut clear = 0u64;
-            let mut segs = Vec::new();
-            for s in &var.segs {
-                if s.reg == *rid {
-                    clear |= s.seg.reg_mask();
-                    segs.push(s.seg);
+        }
+        self.steps.push(step);
+        Some(())
+    }
+
+    /// The plan slot of a register instance. Bails on hashed families
+    /// and on argument domains not fully indexable.
+    fn slot_for(&self, rid: RegId, reg_args: &[PlanValue]) -> Option<PlanSlot> {
+        let reg = &self.regs[rid.0 as usize];
+        if let Some(s) = reg.slot {
+            return Some(PlanSlot::Fixed(s));
+        }
+        let fam = reg.family_slots.as_ref()?;
+        if fam.dims.len() != reg_args.len() {
+            return None;
+        }
+        let mut base = fam.base;
+        let mut dims = Vec::new();
+        for (dim, arg) in fam.dims.iter().zip(reg_args) {
+            match arg {
+                PlanValue::Const(c) => base += dim.index_of(*c)? * dim.stride,
+                PlanValue::Arg(i) => {
+                    // Every value the caller may pass must be indexable.
+                    let domain = self.params.get(*i)?;
+                    if !domain.iter().all(|v| dim.index_of(v).is_some()) {
+                        return None;
+                    }
+                    dims.push((*i, dim.clone()));
+                }
+                PlanValue::Input => return None,
+            }
+        }
+        Some(if dims.is_empty() { PlanSlot::Fixed(base) } else { PlanSlot::Indexed { base, dims } })
+    }
+
+    /// The register offset as a plan offset.
+    fn offset_for(binding: &PortBinding, reg_args: &[PlanValue]) -> Option<PlanOffset> {
+        match binding.offset {
+            Offset::Const(c) => Some(PlanOffset::Const(c)),
+            Offset::Param(i) => match reg_args.get(i)? {
+                PlanValue::Const(c) => Some(PlanOffset::Const(*c)),
+                PlanValue::Arg(j) => Some(PlanOffset::Arg(*j)),
+                PlanValue::Input => None,
+            },
+        }
+    }
+
+    /// The family args variable `vid` uses for register `rid` (the
+    /// general path's `args_for_reg`: first matching segment wins).
+    fn reg_args_for(&self, vid: VarId, rid: RegId, var_args: &[PlanValue]) -> Vec<PlanValue> {
+        let var = &self.vars[vid.0 as usize];
+        for seg in &var.segs {
+            if seg.reg == rid {
+                return chunk_args(&seg.args, var_args);
+            }
+        }
+        Vec::new()
+    }
+
+    /// Mirrors the general path's write composition for one variable on
+    /// one register: clear own segments and trigger neighbours, fold
+    /// neutral substitutions and constant values, keep the rest cached.
+    fn compose_one(&self, vid: VarId, rid: RegId, value: PlanValue) -> WriteCompose {
+        let reg = &self.regs[rid.0 as usize];
+        let var = &self.vars[vid.0 as usize];
+        let mut clear = 0u64;
+        let mut const_or = 0u64;
+        let mut segs = Vec::new();
+        for s in &var.segs {
+            if s.reg == rid {
+                clear |= s.seg.reg_mask();
+                match value {
+                    PlanValue::Const(c) => const_or |= s.seg.insert(c),
+                    v => segs.push(WriteSeg { seg: s.seg, value: v }),
                 }
             }
-            // Trigger neighbours get their (static) neutral value; the
-            // substitution folds into the keep/force constants.
-            let mut trigger_or = 0u64;
-            if write {
-                for field in &reg.fields {
-                    if field.var == vid {
-                        continue;
+        }
+        for field in &reg.fields {
+            if field.var == vid {
+                continue;
+            }
+            let other = &self.vars[field.var.0 as usize];
+            if other.behavior.write_trigger {
+                if let Some(neutral) = other.neutral {
+                    let nv = match neutral {
+                        Neutral::Except(n) => n,
+                        // `for X`: every value except X is neutral.
+                        Neutral::For(x) => u64::from(x == 0),
+                    };
+                    clear |= field.reg_mask();
+                    const_or |= field.insert(nv);
+                }
+            }
+        }
+        WriteCompose {
+            keep_and: !clear,
+            const_or,
+            segs,
+            out_and: reg.and_mask,
+            out_or: reg.or_mask,
+        }
+    }
+
+    /// Simulates one register write: pre-actions, composed masked
+    /// write, post/set actions. `unguard` is the index of the caller's
+    /// pending-slot entry to release just before the write emits.
+    fn write_reg(
+        &mut self,
+        rid: RegId,
+        reg_args: &[PlanValue],
+        compose: WriteCompose,
+        unguard: Option<usize>,
+        depth: u32,
+    ) -> Option<()> {
+        self.note_depth(depth)?;
+        let reg = &self.regs[rid.0 as usize];
+        let (pre, post, set) = (reg.pre.clone(), reg.post.clone(), reg.set.clone());
+        let binding = reg.write.clone()?;
+        let (port, size) = (binding.port.0, reg.size);
+        let slot = self.slot_for(rid, reg_args)?;
+        let offset = Self::offset_for(&binding, reg_args)?;
+        // The register's own slot is pending while its pre-actions run
+        // (the general path composed the raw value before them).
+        let own_guard = self.guarded.len();
+        self.guarded.push(Some(slot.clone()));
+        self.actions(&pre, reg_args, depth + 1)?;
+        self.guarded[own_guard] = None;
+        if let Some(i) = unguard {
+            self.guarded[i] = None;
+        }
+        self.emit(PlanStep::Write(AccessStep { reg: rid, slot, port, offset, size }, compose))?;
+        self.actions(&post, reg_args, depth + 1)?;
+        self.actions(&set, reg_args, depth + 1)
+    }
+
+    /// Simulates one register read: pre-actions, read, post/set.
+    fn read_reg(&mut self, rid: RegId, reg_args: &[PlanValue], depth: u32) -> Option<()> {
+        self.note_depth(depth)?;
+        let reg = &self.regs[rid.0 as usize];
+        let (pre, post, set) = (reg.pre.clone(), reg.post.clone(), reg.set.clone());
+        let binding = reg.read.clone()?;
+        let (port, size) = (binding.port.0, reg.size);
+        let slot = self.slot_for(rid, reg_args)?;
+        let offset = Self::offset_for(&binding, reg_args)?;
+        self.actions(&pre, reg_args, depth + 1)?;
+        self.emit(PlanStep::Read(AccessStep { reg: rid, slot, port, offset, size }))?;
+        self.actions(&post, reg_args, depth + 1)?;
+        self.actions(&set, reg_args, depth + 1)
+    }
+
+    /// Simulates a variable read: every register of the access order.
+    fn read_var(&mut self, vid: VarId, args: &[PlanValue], depth: u32) -> Option<()> {
+        let var = &self.vars[vid.0 as usize];
+        if var.mem_cell.is_some() || !var.readable {
+            return None;
+        }
+        let order = regs_of(&var.read_order)?;
+        for rid in order {
+            let reg_args = self.reg_args_for(vid, rid, args);
+            self.read_reg(rid, &reg_args, depth)?;
+        }
+        Some(())
+    }
+
+    /// Simulates a variable write: the general path's store/compose
+    /// fused per register, then the variable's own set actions.
+    fn write_var(
+        &mut self,
+        vid: VarId,
+        value: PlanValue,
+        args: &[PlanValue],
+        depth: u32,
+    ) -> Option<()> {
+        self.note_depth(depth)?;
+        let var = &self.vars[vid.0 as usize];
+        if var.params.len() != args.len() {
+            return None;
+        }
+        let set = var.set.clone();
+        if let Some(cell) = var.mem_cell {
+            self.emit(PlanStep::SetCell { cell, value })?;
+            return self.actions(&set, args, depth + 1);
+        }
+        if !var.writable {
+            return None;
+        }
+        let order = regs_of(&var.write_order)?;
+        // The general path stores the new bits into every backing
+        // register's cache up front; the fused formula inserts them at
+        // each register's own write step, so the order must cover all
+        // backing registers and none may be touched early.
+        if !var.segs.iter().all(|s| order.contains(&s.reg)) {
+            return None;
+        }
+        let guard_start = self.guarded.len();
+        for &rid in &order {
+            let reg_args = self.reg_args_for(vid, rid, args);
+            let slot = self.slot_for(rid, &reg_args)?;
+            self.guarded.push(Some(slot));
+        }
+        for (k, &rid) in order.iter().enumerate() {
+            let reg_args = self.reg_args_for(vid, rid, args);
+            let compose = self.compose_one(vid, rid, value);
+            // The general path enters `write_register` at depth + 1.
+            self.write_reg(rid, &reg_args, compose, Some(guard_start + k), depth + 1)?;
+        }
+        self.guarded.truncate(guard_start);
+        self.actions(&set, args, depth + 1)
+    }
+
+    /// Simulates an action list. `ctx` supplies `Param` references
+    /// (family arguments of the enclosing register or variable).
+    fn actions(&mut self, actions: &[Action], ctx: &[PlanValue], depth: u32) -> Option<()> {
+        for action in actions {
+            self.note_depth(depth)?;
+            match (&action.target, &action.value) {
+                (ActionTarget::Var(vid), value) => {
+                    let v = Self::action_value(value, ctx)?;
+                    self.write_var(*vid, v, &[], depth + 1)?;
+                }
+                (ActionTarget::Struct(sid), ActionValue::Struct(fields)) => {
+                    let mut assigned = Vec::with_capacity(fields.len());
+                    for (fid, fval) in fields {
+                        assigned.push((*fid, Self::action_value(fval, ctx)?));
                     }
-                    let other = &vars[field.var.0 as usize];
-                    if other.behavior.write_trigger {
-                        if let Some(neutral) = other.neutral {
-                            let nv = match neutral {
-                                Neutral::Except(n) => n,
-                                // `for X`: every value except X is neutral.
-                                Neutral::For(x) => u64::from(x == 0),
-                            };
-                            clear |= field.reg_mask();
-                            trigger_or |= field.insert(nv);
+                    self.write_struct_fields(*sid, &assigned, depth + 1)?;
+                }
+                (ActionTarget::Struct(_), _) => return None,
+            }
+        }
+        Some(())
+    }
+
+    /// An action value as a plan value, when statically known.
+    fn action_value(value: &ActionValue, ctx: &[PlanValue]) -> Option<PlanValue> {
+        match value {
+            ActionValue::Const(c) => Some(PlanValue::Const(*c)),
+            ActionValue::Any => Some(PlanValue::Const(0)),
+            // The general path defaults missing params to 0.
+            ActionValue::Param(i) => Some(ctx.get(*i).copied().unwrap_or(PlanValue::Const(0))),
+            ActionValue::Var(_) | ActionValue::Struct(_) => None,
+        }
+    }
+
+    /// Simulates a struct-valued action: assigned field bits stored
+    /// up-front by the general path, flushed register by register here.
+    fn write_struct_fields(
+        &mut self,
+        sid: StructId,
+        assigned: &[(VarId, PlanValue)],
+        depth: u32,
+    ) -> Option<()> {
+        self.note_depth(depth)?;
+        // Mem-cell fields are stored directly (no flush involved).
+        for &(fid, v) in assigned {
+            let f = &self.vars[fid.0 as usize];
+            if !f.params.is_empty() {
+                return None;
+            }
+            if let Some(cell) = f.mem_cell {
+                self.emit(PlanStep::SetCell { cell, value: v })?;
+            }
+        }
+        self.flush_struct(sid, assigned, depth)
+    }
+
+    /// Simulates `write_struct`: compose every register of the write
+    /// order from the cache (plus the `assigned` field inserts) and
+    /// write it, then run field-level set actions.
+    fn flush_struct(
+        &mut self,
+        sid: StructId,
+        assigned: &[(VarId, PlanValue)],
+        depth: u32,
+    ) -> Option<()> {
+        self.note_depth(depth)?;
+        let st = &self.structs[sid.0 as usize];
+        let fields = st.fields.clone();
+        let order = regs_of(&st.write_order)?;
+        // The general path stores every assigned field's bits into its
+        // registers' caches up front; the fused formula only inserts
+        // them at registers the order actually flushes, so each
+        // assigned field must be fully covered by the order.
+        for &(fid, _) in assigned {
+            let f = &self.vars[fid.0 as usize];
+            if f.mem_cell.is_none() && !f.segs.iter().all(|s| order.contains(&s.reg)) {
+                return None;
+            }
+        }
+        // Assigned register-backed bits are inserted at each register's
+        // write step; guard the pending slots (store/compose inversion,
+        // as in `write_var`).
+        let guard_start = self.guarded.len();
+        for &rid in &order {
+            let slot = self.slot_for(rid, &[])?;
+            self.guarded.push(Some(slot));
+        }
+        for (k, &rid) in order.iter().enumerate() {
+            let reg = &self.regs[rid.0 as usize];
+            let mut clear = 0u64;
+            let mut const_or = 0u64;
+            let mut segs = Vec::new();
+            for &(fid, v) in assigned {
+                for s in &self.vars[fid.0 as usize].segs {
+                    if s.reg == rid {
+                        clear |= s.seg.reg_mask();
+                        match v {
+                            PlanValue::Const(c) => const_or |= s.seg.insert(c),
+                            v => segs.push(WriteSeg { seg: s.seg, value: v }),
                         }
                     }
                 }
             }
-            steps.push(PlanStep {
-                reg: *rid,
-                slot,
-                port: binding.port.0,
-                offset,
-                size: reg.size,
+            let compose = WriteCompose {
                 keep_and: !clear,
-                trigger_or,
+                const_or,
                 segs,
                 out_and: reg.and_mask,
                 out_or: reg.or_mask,
-            });
+            };
+            // The general path enters `write_register` at depth + 1.
+            self.write_reg(rid, &[], compose, Some(guard_start + k), depth + 1)?;
         }
-        Some(AccessPlan { steps, assemble: assemble.clone() })
-    };
+        self.guarded.truncate(guard_start);
+        for fid in fields {
+            let set = self.vars[fid.0 as usize].set.clone();
+            self.actions(&set, &[], depth + 1)?;
+        }
+        Some(())
+    }
 
-    let read_plan = if var.readable { compile(&var.read_order, false) } else { None };
-    let write_plan =
-        if var.writable && var.set.is_empty() { compile(&var.write_order, true) } else { None };
-    (read_plan.map(std::sync::Arc::new), write_plan.map(std::sync::Arc::new))
+    /// Simulates `read_struct`: every register of the read order once.
+    fn read_struct(&mut self, sid: StructId) -> Option<()> {
+        let order = regs_of(&self.structs[sid.0 as usize].read_order)?;
+        for rid in order {
+            self.read_reg(rid, &[], 0)?;
+        }
+        Some(())
+    }
+}
+
+/// The family args of one segment as plan values.
+fn chunk_args(args: &[ChunkArg], var_args: &[PlanValue]) -> Vec<PlanValue> {
+    args.iter()
+        .map(|a| match a {
+            ChunkArg::Const(c) => PlanValue::Const(*c),
+            ChunkArg::Param(i) => var_args[*i],
+        })
+        .collect()
+}
+
+/// Compiles the read/write plans for one variable, when the access
+/// qualifies (see [`AccessPlan`]).
+fn compile_var_plans(
+    vid: VarId,
+    vars: &[VarIr],
+    regs: &[RegIr],
+    structs: &[StructIr],
+) -> (Option<Arc<AccessPlan>>, Option<Arc<AccessPlan>>) {
+    let var = &vars[vid.0 as usize];
+    if var.mem_cell.is_some() {
+        return (None, None);
+    }
+    let args: Vec<PlanValue> = (0..var.params.len()).map(PlanValue::Arg).collect();
+    let assemble_for = |b: &PlanBuilder| -> Option<Vec<(PlanSlot, FieldSeg)>> {
+        var.segs
+            .iter()
+            .map(|s| b.slot_for(s.reg, &chunk_args(&s.args, &args)).map(|slot| (slot, s.seg)))
+            .collect()
+    };
+    let read = if var.readable {
+        let mut b = PlanBuilder::new(vars, regs, structs, &var.params);
+        b.read_var(vid, &args, 0).and_then(|()| assemble_for(&b)).map(|assemble| {
+            Arc::new(AccessPlan { steps: b.steps, assemble, max_depth: b.max_depth })
+        })
+    } else {
+        None
+    };
+    let write = if var.writable {
+        let mut b = PlanBuilder::new(vars, regs, structs, &var.params);
+        b.write_var(vid, PlanValue::Input, &args, 0).map(|()| {
+            Arc::new(AccessPlan { steps: b.steps, assemble: Vec::new(), max_depth: b.max_depth })
+        })
+    } else {
+        None
+    };
+    (read, write)
+}
+
+/// Compiles the read/write plans for one structure (an [`AccessPlan`]
+/// with an empty assemble list — field getters use
+/// [`VarIr::slot_assemble`] instead).
+fn compile_struct_plans(
+    sid: StructId,
+    vars: &[VarIr],
+    regs: &[RegIr],
+    structs: &[StructIr],
+) -> (Option<Arc<AccessPlan>>, Option<Arc<AccessPlan>>) {
+    let read = {
+        let mut b = PlanBuilder::new(vars, regs, structs, &[]);
+        b.read_struct(sid).map(|()| {
+            Arc::new(AccessPlan { steps: b.steps, assemble: Vec::new(), max_depth: b.max_depth })
+        })
+    };
+    let write = {
+        let mut b = PlanBuilder::new(vars, regs, structs, &[]);
+        b.flush_struct(sid, &[], 0).map(|()| {
+            Arc::new(AccessPlan { steps: b.steps, assemble: Vec::new(), max_depth: b.max_depth })
+        })
+    };
+    (read, write)
 }
 
 impl DeviceIr {
@@ -753,27 +1429,65 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
     #[test]
     fn plans_compiled_for_simple_variables() {
         let ir = ir_for(BUSMOUSE);
-        // `config` lives alone on `cr`, which has no actions: both
-        // directions are ineligible/eligible by direction only.
+        // `config` lives alone on `cr`, which has no actions.
         let config = ir.var(ir.var_id("config").unwrap());
         assert!(config.read_plan.is_none(), "cr is write-only");
         let plan = config.write_plan.as_ref().expect("cr write plan");
         assert_eq!(plan.steps.len(), 1);
-        let step = &plan.steps[0];
-        assert_eq!(step.offset, 3);
-        assert_eq!(step.out_or, 0b1001_0000);
-        assert_eq!(step.out_and, 0b1001_0001);
-        assert_eq!(step.segs.len(), 1);
+        let PlanStep::Write(step, compose) = &plan.steps[0] else { panic!("write step") };
+        assert!(matches!(step.offset, PlanOffset::Const(3)));
+        assert_eq!(compose.out_or, 0b1001_0000);
+        assert_eq!(compose.out_and, 0b1001_0001);
+        assert_eq!(compose.segs.len(), 1);
+        assert_eq!(compose.segs[0].value, PlanValue::Input);
         // `signature` reads a plain register: read plan with one step.
         let sig = ir.var(ir.var_id("signature").unwrap());
         let rp = sig.read_plan.as_ref().expect("sig_reg read plan");
         assert_eq!(rp.steps.len(), 1);
-        assert_eq!(rp.steps[0].offset, 1);
+        assert!(
+            matches!(&rp.steps[0], PlanStep::Read(a) if matches!(a.offset, PlanOffset::Const(1)))
+        );
         assert_eq!(rp.assemble.len(), 1);
-        // `dx` is backed by registers with pre-actions: no plans.
+    }
+
+    #[test]
+    fn plans_fold_index_register_pre_actions() {
+        // dx is backed by registers with `index = N` pre-actions; the
+        // symbolic executor folds those into constant index writes.
+        let ir = ir_for(BUSMOUSE);
         let dx = ir.var(ir.var_id("dx").unwrap());
-        assert!(dx.read_plan.is_none());
+        let rp = dx.read_plan.as_ref().expect("dx read plan folds pre-actions");
+        // write index=1, read x_high, write index=0, read x_low.
+        assert_eq!(rp.steps.len(), 4);
+        let idx_reg = ir.reg_id("index_reg").unwrap();
+        let PlanStep::Write(a0, c0) = &rp.steps[0] else { panic!("index write first") };
+        assert_eq!(a0.reg, idx_reg);
+        // index=1 folded: bits 6..5 get 0b01.
+        assert_eq!(c0.const_or, 0b0010_0000);
+        assert!(c0.segs.is_empty(), "constant fully folded");
+        assert!(matches!(&rp.steps[1], PlanStep::Read(a) if ir.reg(a.reg).name == "x_high"));
+        let PlanStep::Write(_, c2) = &rp.steps[2] else { panic!() };
+        assert_eq!(c2.const_or, 0, "index=0 folds to zero bits");
+        assert!(matches!(&rp.steps[3], PlanStep::Read(a) if ir.reg(a.reg).name == "x_low"));
+        // dx is read-only (its registers are read-only): no write plan.
         assert!(dx.write_plan.is_none());
+    }
+
+    #[test]
+    fn struct_plans_flatten_the_figure_3_loop() {
+        let ir = ir_for(BUSMOUSE);
+        let st = ir.strct(ir.struct_id("mouse_state").unwrap());
+        let plan = st.read_plan.as_ref().expect("mouse_state read plan");
+        // 4 index writes + 4 data reads, interleaved.
+        assert_eq!(plan.steps.len(), 8);
+        let kinds: Vec<bool> =
+            plan.steps.iter().map(|s| matches!(s, PlanStep::Write(..))).collect();
+        assert_eq!(kinds, [true, false, true, false, true, false, true, false]);
+        // Registers are read-only: no write plan for the structure.
+        assert!(st.write_plan.is_none());
+        // Fields assemble from fixed slots without name resolution.
+        let dx = ir.var(ir.var_id("dx").unwrap());
+        assert_eq!(dx.slot_assemble.as_ref().map(Vec::len), Some(2));
     }
 
     #[test]
@@ -788,44 +1502,21 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
         );
         let page = ir.var(ir.var_id("page").unwrap());
         let plan = page.write_plan.as_ref().expect("page write plan");
-        let step = &plan.steps[0];
+        let PlanStep::Write(_, c) = &plan.steps[0] else { panic!() };
         // st's bits are cleared from the cached value and replaced by
         // the neutral pattern '11'.
-        assert_eq!(step.keep_and & 0b11, 0, "st bits cleared");
-        assert_eq!(step.trigger_or, 0b11, "neutral folded in");
+        assert_eq!(c.keep_and & 0b11, 0, "st bits cleared");
+        assert_eq!(c.const_or, 0b11, "neutral folded in");
         // st's own plan keeps page's cached bits.
         let st = ir.var(ir.var_id("st").unwrap());
         let sp = st.write_plan.as_ref().expect("st write plan");
-        assert_eq!(sp.steps[0].keep_and & 0b1111_1100, 0b1111_1100);
-        assert_eq!(sp.steps[0].trigger_or, 0);
+        let PlanStep::Write(_, sc) = &sp.steps[0] else { panic!() };
+        assert_eq!(sc.keep_and & 0b1111_1100, 0b1111_1100);
+        assert_eq!(sc.const_or, 0);
     }
 
     #[test]
-    fn no_plans_for_families_conditions_or_actions() {
-        let ir = ir_for(
-            r#"device d (base : bit[8] port @ {0..3}) {
-                 register r(i : int{0..3}) = base @ i : bit[8];
-                 variable v(i : int{0..3}) = r(i), volatile : int(8);
-               }"#,
-        );
-        let v = ir.var(ir.var_id("v").unwrap());
-        assert!(v.read_plan.is_none() && v.write_plan.is_none());
-
-        let ir2 = ir_for(
-            r#"device d (base : bit[8] port @ {0..0}) {
-                 private variable xm : bool;
-                 register control = base @ 0, set {xm = false} : bit[8];
-                 variable IA = control : int{0..31};
-               }"#,
-        );
-        let ia = ir2.var(ir2.var_id("IA").unwrap());
-        assert!(ia.read_plan.is_none(), "register has set actions");
-        let xm = ir2.var(ir2.var_id("xm").unwrap());
-        assert!(xm.read_plan.is_none(), "memory cells need no plan");
-    }
-
-    #[test]
-    fn cache_slots_assigned_to_concrete_registers_only() {
+    fn family_registers_get_indexed_slot_ranges() {
         let ir = ir_for(
             r#"device d (base : bit[8] port @ {0..4}) {
                  register plain = base @ 4 : bit[8];
@@ -834,9 +1525,173 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
                  variable f(i : int{0..3}) = r(i), volatile : int(8);
                }"#,
         );
-        assert_eq!(ir.cache_slots, 1);
+        // One slot for `plain` plus four for the family instances.
+        assert_eq!(ir.cache_slots, 5);
         assert!(ir.reg(ir.reg_id("plain").unwrap()).slot.is_some());
-        assert!(ir.reg(ir.reg_id("r").unwrap()).slot.is_none());
+        let r = ir.reg(ir.reg_id("r").unwrap());
+        assert!(r.slot.is_none());
+        let fam = r.family_slots.as_ref().expect("indexed family slots");
+        assert_eq!(fam.count, 4);
+        assert_eq!(fam.slot_of(&[0]), Some(fam.base));
+        assert_eq!(fam.slot_of(&[3]), Some(fam.base + 3));
+        assert_eq!(fam.slot_of(&[4]), None, "outside the domain");
+    }
+
+    #[test]
+    fn sparse_family_domains_index_densely() {
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..17, 25}) {
+                 register x(i : int{0..17, 25}) = base @ i : bit[8];
+                 variable xv(i : int{0..17, 25}) = x(i), volatile : int(8);
+               }"#,
+        );
+        let x = ir.reg(ir.reg_id("x").unwrap());
+        let fam = x.family_slots.as_ref().unwrap();
+        assert_eq!(fam.count, 19);
+        assert_eq!(fam.slot_of(&[17]), Some(fam.base + 17));
+        assert_eq!(fam.slot_of(&[25]), Some(fam.base + 18), "sparse value packs densely");
+        assert_eq!(fam.slot_of(&[20]), None);
+    }
+
+    #[test]
+    fn family_variables_compile_parameterized_plans() {
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..3}) {
+                 register r(i : int{0..3}) = base @ i : bit[8];
+                 variable v(i : int{0..3}) = r(i), volatile : int(8);
+               }"#,
+        );
+        let v = ir.var(ir.var_id("v").unwrap());
+        let rp = v.read_plan.as_ref().expect("family read plan");
+        assert_eq!(rp.steps.len(), 1);
+        let PlanStep::Read(a) = &rp.steps[0] else { panic!() };
+        assert!(matches!(a.offset, PlanOffset::Arg(0)));
+        let PlanSlot::Indexed { dims, .. } = &a.slot else { panic!("indexed slot") };
+        assert_eq!(dims.len(), 1);
+        assert_eq!(rp.assemble.len(), 1);
+        let wp = v.write_plan.as_ref().expect("family write plan");
+        assert!(
+            matches!(&wp.steps[0], PlanStep::Write(a, _) if matches!(a.offset, PlanOffset::Arg(0)))
+        );
+    }
+
+    #[test]
+    fn indexed_pre_actions_fold_into_plans() {
+        // CS4236B-style: the indexed-register automaton (control write
+        // with the parameter value, set-action on a memory cell, data
+        // read) flattens to three straight-line steps.
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..1}) {
+                 private variable xm : bool;
+                 register control = base @ 0, mask '000*****', set {xm = false} : bit[8];
+                 variable IA = control[4..0] : int{0..31};
+                 register I(i : int{0..31}) = base @ 1, pre {IA = i} : bit[8];
+                 variable ID(i : int{0..31}) = I(i), volatile : int(8);
+               }"#,
+        );
+        let id = ir.var(ir.var_id("ID").unwrap());
+        let rp = id.read_plan.as_ref().expect("ID read plan");
+        assert_eq!(rp.steps.len(), 3);
+        let PlanStep::Write(a, c) = &rp.steps[0] else { panic!("control write first") };
+        assert_eq!(ir.reg(a.reg).name, "control");
+        assert_eq!(c.segs.len(), 1);
+        assert_eq!(c.segs[0].value, PlanValue::Arg(0), "IA gets the family argument");
+        assert!(matches!(&rp.steps[1], PlanStep::SetCell { cell: 0, value: PlanValue::Const(0) }));
+        assert!(matches!(&rp.steps[2], PlanStep::Read(a) if ir.reg(a.reg).name == "I"));
+    }
+
+    #[test]
+    fn no_plans_for_conditions_or_dynamic_values() {
+        // Conditional serialization depends on run-time cache state.
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..1}) {
+                 register icw1 = write base @ 0 : bit[8];
+                 register icw3 = write base @ 1 : bit[8];
+                 structure init = {
+                   variable sngl = icw1[0] : { SINGLE => '1', CASCADED => '0' };
+                   variable rest = icw1[7..1] : int(7);
+                   variable v3 = icw3 : int(8);
+                 } serialized as { icw1; if (sngl == CASCADED) icw3; };
+               }"#,
+        );
+        let st = ir.strct(ir.struct_id("init").unwrap());
+        assert!(st.read_plan.is_none());
+        assert!(st.write_plan.is_none());
+        // Memory variables need no plan.
+        let ir2 = ir_for(
+            r#"device d (base : bit[8] port @ {0..0}) {
+                 private variable xm : bool;
+                 register control = base @ 0, set {xm = false} : bit[8];
+                 variable IA = control : int{0..31};
+               }"#,
+        );
+        let xm = ir2.var(ir2.var_id("xm").unwrap());
+        assert!(xm.read_plan.is_none() && xm.write_plan.is_none());
+        // IA's set-action on the memory cell folds into its plans.
+        let ia = ir2.var(ir2.var_id("IA").unwrap());
+        let rp = ia.read_plan.as_ref().expect("IA read plan");
+        assert_eq!(rp.steps.len(), 2);
+        assert!(matches!(&rp.steps[1], PlanStep::SetCell { cell: 0, value: PlanValue::Const(0) }));
+    }
+
+    #[test]
+    fn struct_valued_pre_actions_fold() {
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..1}) {
+                 register idx = write base @ 0, mask '000***0*' : bit[8];
+                 structure XS = {
+                   variable XA = idx[4..2] : int(3);
+                   variable XRAE = idx[0], write trigger for true : bool;
+                 };
+                 register data = base @ 1, pre {XS = {XA => 5; XRAE => true}} : bit[8];
+                 variable payload = data, volatile : int(8);
+               }"#,
+        );
+        let payload = ir.var(ir.var_id("payload").unwrap());
+        let rp = payload.read_plan.as_ref().expect("payload read plan");
+        // idx flush + data read.
+        assert_eq!(rp.steps.len(), 2);
+        let PlanStep::Write(a, c) = &rp.steps[0] else { panic!() };
+        assert_eq!(ir.reg(a.reg).name, "idx");
+        // XA=5 (bits 4..2) and XRAE=1 (bit 0) folded to constants.
+        assert_eq!(c.const_or, 0b0001_0101);
+        assert!(c.segs.is_empty());
+    }
+
+    #[test]
+    fn struct_actions_with_partial_write_orders_do_not_fold() {
+        // The struct's serialized-as order flushes only `a`, but the
+        // action assigns `fb` on register `bq`: the general path still
+        // stores fb's bits into bq's cache, which a straight-line plan
+        // cannot reproduce — the access must keep the general path.
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..2}) {
+                 register a = write base @ 0 : bit[8];
+                 register bq = write base @ 1, mask '****....' : bit[8];
+                 structure s = {
+                   variable fa = a : int(8);
+                   variable fb = bq[7..4] : int(4);
+                 } serialized as { a; };
+                 register data = read base @ 2, pre {s = {fa => 3; fb => 7}} : bit[8];
+                 variable payload = data, volatile : int(8);
+               }"#,
+        );
+        let payload = ir.var(ir.var_id("payload").unwrap());
+        assert!(payload.read_plan.is_none(), "partial flush order must not plan-compile");
+    }
+
+    #[test]
+    fn plans_carry_the_general_paths_depth_accounting() {
+        let ir = ir_for(BUSMOUSE);
+        // config write: one register, no actions. The general path
+        // enters write_register at depth 1.
+        let config = ir.var(ir.var_id("config").unwrap());
+        assert_eq!(config.write_plan.as_ref().unwrap().max_depth, 1);
+        // dx read folds `index = N` pre-actions: read_register at 0,
+        // run_actions at 1, write_id_depth(index) at 2, its
+        // write_register at 3.
+        let dx = ir.var(ir.var_id("dx").unwrap());
+        assert_eq!(dx.read_plan.as_ref().unwrap().max_depth, 3);
     }
 
     #[test]

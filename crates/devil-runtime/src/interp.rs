@@ -18,7 +18,7 @@
 
 use crate::access::DeviceAccess;
 use crate::error::{RtError, RtResult};
-use devil_ir::DeviceIr;
+use devil_ir::{DeviceIr, PlanStep};
 use devil_sema::model::{
     Action, ActionTarget, ActionValue, ChunkArg, CondSem, Neutral, RegId, SerStep, StructId,
     TypeSem, VarId,
@@ -43,19 +43,21 @@ enum WriteMode {
 
 /// A live device session: IR plus cache state.
 ///
-/// Non-family registers are cached in **flat slots** (a `Vec` indexed
-/// by the slot the lowerer assigned), so steady-state reads and writes
-/// do zero hashing; only register families fall back to a hash map
-/// keyed by their argument tuple.
+/// Every register is cached in **flat slots** (a `Vec` indexed by the
+/// slot the lowerer assigned): one slot per concrete register, and an
+/// indexed slot range per family (`base + index(arg)·stride`), so
+/// steady-state accesses do zero hashing. Only families whose domain
+/// exceeds the lowerer's slot cap fall back to a hash map keyed by
+/// their argument tuple.
 pub struct DeviceInstance {
     ir: DeviceIr,
-    /// Flat cache: one raw value per non-family register.
+    /// Flat cache: one raw value per register instance.
     slots: Vec<u64>,
     /// Which flat slots hold a value (a register never accessed has no
     /// cached raw value to compose from).
     slot_valid: Vec<bool>,
-    /// Cached raw values of family-register instances, keyed by
-    /// register and argument tuple.
+    /// Hashed fallback for family registers whose domain exceeds the
+    /// flat-slot cap.
     family_cache: HashMap<(u32, Vec<u64>), u64>,
     /// Private memory cells.
     mem: Vec<u64>,
@@ -193,24 +195,27 @@ impl DeviceInstance {
         vid: VarId,
         args: &[u64],
     ) -> RtResult<u64> {
-        // Fast path: precompiled plan, flat slots, zero hashing. Debug
-        // checks take the general path so every validation still runs.
-        if self.fast_plans && !self.checks && args.is_empty() {
-            let DeviceInstance { ir, slots, slot_valid, .. } = &mut *self;
+        // Fast path: precompiled plan, flat slots, zero hashing and no
+        // name or action resolution. Family arguments are validated
+        // against the parameter domains first (out-of-domain arguments
+        // fall through so the general path reports the exact error).
+        // Debug checks take the general path so every validation runs.
+        if self.fast_plans && !self.checks {
+            let DeviceInstance { ir, slots, slot_valid, mem, .. } = &mut *self;
             let var = ir.var(vid);
             if let (Some(plan), None) = (&var.read_plan, &var.mem_cell) {
-                if var.params.is_empty() {
+                if var.params.len() == args.len()
+                    && var.params.iter().zip(args).all(|(p, &a)| p.contains(a))
+                {
                     let serve_cached = !var.behavior.volatile && !var.behavior.read_trigger;
-                    if !(serve_cached && plan.assemble.iter().all(|&(s, _)| slot_valid[s])) {
-                        for step in &plan.steps {
-                            let raw = dev.read(step.port as usize, step.offset, step.size);
-                            slots[step.slot] = raw;
-                            slot_valid[step.slot] = true;
-                        }
+                    if !(serve_cached
+                        && plan.assemble.iter().all(|(s, _)| slot_valid[s.resolve(args)]))
+                    {
+                        exec_plan_steps(dev, slots, slot_valid, mem, &plan.steps, args, 0);
                     }
                     let mut v = 0u64;
-                    for &(slot, seg) in &plan.assemble {
-                        v |= seg.extract(slots[slot]);
+                    for (slot, seg) in &plan.assemble {
+                        v |= seg.extract(slots[slot.resolve(args)]);
                     }
                     return Ok(v);
                 }
@@ -252,33 +257,30 @@ impl DeviceInstance {
     }
 
     /// Runs a variable write through its precompiled plan, when one
-    /// applies in the current mode. Returns `false` when the general
-    /// interpreter must handle the write instead.
-    fn try_write_plan(&mut self, dev: &mut dyn DeviceAccess, vid: VarId, value: u64) -> bool {
+    /// applies in the current mode. The caller has already validated
+    /// `args`. Returns `false` when the general interpreter must handle
+    /// the write instead — including when the current recursion depth
+    /// plus the plan's own depth bound would exceed the limit the
+    /// general path enforces (the fallback then errors at exactly the
+    /// point the general interpreter would).
+    fn try_write_plan(
+        &mut self,
+        dev: &mut dyn DeviceAccess,
+        vid: VarId,
+        args: &[u64],
+        value: u64,
+        depth: u32,
+    ) -> bool {
         if !self.fast_plans || self.checks {
             return false;
         }
-        let DeviceInstance { ir, slots, slot_valid, .. } = &mut *self;
+        let DeviceInstance { ir, slots, slot_valid, mem, .. } = &mut *self;
         let var = ir.var(vid);
         let Some(plan) = &var.write_plan else { return false };
-        if !var.params.is_empty() || var.mem_cell.is_some() {
+        if var.mem_cell.is_some() || depth.saturating_add(plan.max_depth) > MAX_DEPTH {
             return false;
         }
-        for step in &plan.steps {
-            let cached = if slot_valid[step.slot] { slots[step.slot] } else { 0 };
-            let mut raw = (cached & step.keep_and) | step.trigger_or;
-            for seg in &step.segs {
-                raw |= seg.insert(value);
-            }
-            dev.write(
-                step.port as usize,
-                step.offset,
-                step.size,
-                (raw & step.out_and) | step.out_or,
-            );
-            slots[step.slot] = raw;
-            slot_valid[step.slot] = true;
-        }
+        exec_plan_steps(dev, slots, slot_valid, mem, &plan.steps, args, value);
         true
     }
 
@@ -292,9 +294,10 @@ impl DeviceInstance {
     ) -> RtResult<()> {
         self.validate_args(vid, args)?;
         // Plan-eligible writes (pre-actions writing index variables are
-        // the common case) take the fast path from any depth: a plan
-        // never recurses, so the depth guard is irrelevant to it.
-        if args.is_empty() && self.try_write_plan(dev, vid, value) {
+        // the common case) take the fast path from any depth, as long
+        // as the cumulative depth stays within the general path's
+        // recursion budget.
+        if self.try_write_plan(dev, vid, args, value, depth) {
             return Ok(());
         }
         let var = self.ir.var(vid).clone();
@@ -331,6 +334,21 @@ impl DeviceInstance {
     /// Field values are then available via [`DeviceInstance::get_field`].
     pub fn read_struct(&mut self, dev: &mut dyn DeviceAccess, name: &str) -> RtResult<()> {
         let sid = self.struct_id(name)?;
+        self.read_struct_id(dev, sid)
+    }
+
+    /// Reads a structure by id — the Figure 3 hot loop. A precompiled
+    /// struct plan (index writes and data reads flattened to straight
+    /// line) executes when one exists; conditional serializations take
+    /// the general path.
+    pub fn read_struct_id(&mut self, dev: &mut dyn DeviceAccess, sid: StructId) -> RtResult<()> {
+        if self.fast_plans && !self.checks {
+            let DeviceInstance { ir, slots, slot_valid, mem, .. } = &mut *self;
+            if let Some(plan) = &ir.strct(sid).read_plan {
+                exec_plan_steps(dev, slots, slot_valid, mem, &plan.steps, &[], 0);
+                return Ok(());
+            }
+        }
         let order = self.ir.strct(sid).read_order.clone();
         let regs = self.plan_regs(&order)?;
         for rid in regs {
@@ -342,9 +360,25 @@ impl DeviceInstance {
     /// Gets a structure field from the cache (no device access).
     pub fn get_field(&mut self, name: &str) -> RtResult<u64> {
         let vid = self.var_id(name)?;
+        self.get_field_id(vid)
+    }
+
+    /// Gets a structure field by id: with plans enabled the value
+    /// assembles straight from flat cache slots — no name resolution,
+    /// no hashing, no argument vectors.
+    pub fn get_field_id(&mut self, vid: VarId) -> RtResult<u64> {
         let var = self.ir.var(vid);
         if var.parent.is_none() {
-            return Err(RtError::NotAField(name.into()));
+            return Err(RtError::NotAField(var.name.clone()));
+        }
+        if self.fast_plans && !self.checks {
+            if let Some(assemble) = &var.slot_assemble {
+                let mut v = 0u64;
+                for &(slot, seg) in assemble {
+                    v |= seg.extract(self.slots[slot]);
+                }
+                return Ok(v);
+            }
         }
         let ty = var.ty.clone();
         let vname = var.name.clone();
@@ -355,20 +389,30 @@ impl DeviceInstance {
     /// Gets a signed structure field from the cache.
     pub fn get_field_signed(&mut self, name: &str) -> RtResult<i64> {
         let vid = self.var_id(name)?;
+        self.get_field_signed_id(vid)
+    }
+
+    /// Gets a signed structure field by id.
+    pub fn get_field_signed_id(&mut self, vid: VarId) -> RtResult<i64> {
         let width = self.ir.var(vid).width;
-        Ok(sign_extend(self.get_field(name)?, width))
+        Ok(sign_extend(self.get_field_id(vid)?, width))
     }
 
     /// Sets a structure field in the cache (no device access; flushed by
     /// [`DeviceInstance::write_struct`]).
     pub fn set_field(&mut self, name: &str, value: u64) -> RtResult<()> {
         let vid = self.var_id(name)?;
+        self.set_field_id(vid, value)
+    }
+
+    /// Sets a structure field by id.
+    pub fn set_field_id(&mut self, vid: VarId, value: u64) -> RtResult<()> {
         let var = self.ir.var(vid);
         if var.parent.is_none() {
-            return Err(RtError::NotAField(name.into()));
+            return Err(RtError::NotAField(var.name.clone()));
         }
         if self.checks && !var.ty.valid_write(value) {
-            return Err(RtError::ValueRange { var: name.into(), value });
+            return Err(RtError::ValueRange { var: var.name.clone(), value });
         }
         self.store_var_bits(vid, &[], value);
         Ok(())
@@ -379,15 +423,32 @@ impl DeviceInstance {
     /// the cached field values, as in the 8259A initialization).
     pub fn write_struct(&mut self, dev: &mut dyn DeviceAccess, name: &str) -> RtResult<()> {
         let sid = self.struct_id(name)?;
-        self.write_struct_id(dev, sid, 0)
+        self.write_struct_depth(dev, sid, 0)
     }
 
-    fn write_struct_id(
+    /// Writes a structure by id.
+    pub fn write_struct_id(&mut self, dev: &mut dyn DeviceAccess, sid: StructId) -> RtResult<()> {
+        self.write_struct_depth(dev, sid, 0)
+    }
+
+    fn write_struct_depth(
         &mut self,
         dev: &mut dyn DeviceAccess,
         sid: StructId,
         depth: u32,
     ) -> RtResult<()> {
+        // Fast path: the compiled flush (cache-composed masked writes
+        // plus folded field set-actions) in a straight line, depth
+        // budget permitting (see `try_write_plan`).
+        if self.fast_plans && !self.checks {
+            let DeviceInstance { ir, slots, slot_valid, mem, .. } = &mut *self;
+            if let Some(plan) = &ir.strct(sid).write_plan {
+                if depth.saturating_add(plan.max_depth) <= MAX_DEPTH {
+                    exec_plan_steps(dev, slots, slot_valid, mem, &plan.steps, &[], 0);
+                    return Ok(());
+                }
+            }
+        }
         let st = self.ir.strct(sid).clone();
         if depth > MAX_DEPTH {
             return Err(RtError::RecursionLimit(st.name.clone()));
@@ -494,10 +555,17 @@ impl DeviceInstance {
         Ok(v)
     }
 
-    /// The cached raw value of a register instance, if any. Non-family
-    /// registers resolve through their flat slot — no hashing.
+    /// The cached raw value of a register instance, if any. Concrete
+    /// registers resolve through their flat slot and family instances
+    /// through their indexed slot range — no hashing either way. Only
+    /// oversized family domains (or out-of-domain arguments) reach the
+    /// hashed fallback.
     fn cache_get(&self, rid: RegId, args: &[u64]) -> Option<u64> {
-        if let Some(slot) = self.ir.reg(rid).slot {
+        let reg = self.ir.reg(rid);
+        if let Some(slot) = reg.slot {
+            return self.slot_valid[slot].then(|| self.slots[slot]);
+        }
+        if let Some(slot) = reg.family_slots.as_ref().and_then(|f| f.slot_of(args)) {
             return self.slot_valid[slot].then(|| self.slots[slot]);
         }
         self.family_cache.get(&(rid.0, args.to_vec())).copied()
@@ -505,7 +573,9 @@ impl DeviceInstance {
 
     /// Caches a register instance's raw value.
     fn cache_put(&mut self, rid: RegId, args: &[u64], raw: u64) {
-        if let Some(slot) = self.ir.reg(rid).slot {
+        let reg = self.ir.reg(rid);
+        let slot = reg.slot.or_else(|| reg.family_slots.as_ref().and_then(|f| f.slot_of(args)));
+        if let Some(slot) = slot {
             self.slots[slot] = raw;
             self.slot_valid[slot] = true;
             return;
@@ -744,7 +814,7 @@ impl DeviceInstance {
                         let v = self.resolve_action_value(fval, args);
                         self.store_var_bits(*fid, &[], v);
                     }
-                    self.write_struct_id(dev, *sid, depth + 1)?;
+                    self.write_struct_depth(dev, *sid, depth + 1)?;
                 }
                 (ActionTarget::Struct(_), _) => {
                     unreachable!("sema guarantees struct targets get struct values")
@@ -761,6 +831,50 @@ impl DeviceInstance {
             ActionValue::Param(i) => args.get(*i).copied().unwrap_or(0),
             ActionValue::Var(vid) => self.assemble_cached(*vid, &[]),
             ActionValue::Struct(_) => 0,
+        }
+    }
+}
+
+/// Executes a precompiled straight-line plan: device reads into flat
+/// cache slots, composed masked writes, and folded memory-cell updates.
+/// `args` are the (already validated) family arguments and `input` the
+/// value being written, if any. This is the whole steady-state hot
+/// path: mask/shift arithmetic and slot indexing only — no hashing, no
+/// name resolution, no action interpretation.
+fn exec_plan_steps(
+    dev: &mut dyn DeviceAccess,
+    slots: &mut [u64],
+    slot_valid: &mut [bool],
+    mem: &mut [u64],
+    steps: &[PlanStep],
+    args: &[u64],
+    input: u64,
+) {
+    for step in steps {
+        match step {
+            PlanStep::Read(a) => {
+                let raw = dev.read(a.port as usize, a.offset.resolve(args), a.size);
+                let slot = a.slot.resolve(args);
+                slots[slot] = raw;
+                slot_valid[slot] = true;
+            }
+            PlanStep::Write(a, c) => {
+                let slot = a.slot.resolve(args);
+                let cached = if slot_valid[slot] { slots[slot] } else { 0 };
+                let mut raw = (cached & c.keep_and) | c.const_or;
+                for ws in &c.segs {
+                    raw |= ws.seg.insert(ws.value.resolve(args, input));
+                }
+                dev.write(
+                    a.port as usize,
+                    a.offset.resolve(args),
+                    a.size,
+                    (raw & c.out_and) | c.out_or,
+                );
+                slots[slot] = raw;
+                slot_valid[slot] = true;
+            }
+            PlanStep::SetCell { cell, value } => mem[*cell] = value.resolve(args, input),
         }
     }
 }
@@ -1298,6 +1412,43 @@ mod tests {
         d.write(&mut dev, "v", 0xa5).unwrap();
         assert_eq!(d.read(&mut dev, "v").unwrap(), 0xa5);
         assert_eq!(dev.ops(), 1, "read served from the flat slot");
+    }
+
+    #[test]
+    fn deep_action_chains_hit_the_recursion_limit_in_both_modes() {
+        // A set-action chain long enough that the general interpreter
+        // reports RecursionLimit. Mid-chain variables compile plans
+        // (their remaining expansion fits the budget), but the
+        // cumulative-depth gate must keep the fast path from
+        // succeeding where the general path errors.
+        let n = 30u32;
+        let mut decls = String::new();
+        for i in 0..n {
+            let set = if i + 1 < n { format!(", set {{v{} = 1}}", i + 1) } else { String::new() };
+            decls.push_str(&format!(
+                "register r{i} = base @ {i}{set} : bit[8];\nvariable v{i} = r{i} : int(8);\n"
+            ));
+        }
+        let src = format!("device d (base : bit[8] port @ {{0..{}}}) {{\n{decls}}}", n - 1);
+        let mut fast = instance(&src);
+        let mut fast_dev = FakeAccess::new();
+        let fast_res = fast.write(&mut fast_dev, "v0", 1);
+        let mut slow = instance(&src);
+        slow.set_fast_plans(false);
+        let mut slow_dev = FakeAccess::new();
+        let slow_res = slow.write(&mut slow_dev, "v0", 1);
+        assert!(
+            matches!(slow_res, Err(RtError::RecursionLimit(_))),
+            "general path must hit the limit: {slow_res:?}"
+        );
+        assert_eq!(fast_res, slow_res, "fast path must fail identically");
+        assert_eq!(fast_dev.log, slow_dev.log, "partial side effects must match");
+        // A var near the tail writes fine from depth 0 in both modes.
+        let fast_tail = fast.write(&mut fast_dev, "v25", 1);
+        let slow_tail = slow.write(&mut slow_dev, "v25", 1);
+        assert_eq!(fast_tail, slow_tail);
+        assert!(fast_tail.is_ok());
+        assert_eq!(fast_dev.log, slow_dev.log);
     }
 
     #[test]

@@ -66,16 +66,28 @@ impl HandBusmouse {
 
 /// The Devil-based driver: all device interaction goes through the
 /// generated-interface semantics (`bm_get_mouse_state()` /
-/// `bm_get_dx()` of Figure 3).
+/// `bm_get_dx()` of Figure 3). Structure and field ids are resolved
+/// once at construction, so the sample hot loop runs the precompiled
+/// struct plan with zero name lookups.
 pub struct DevilBusmouse {
     base: u64,
     dev: DeviceInstance,
+    mouse_state: devil_sema::model::StructId,
+    dx: devil_sema::model::VarId,
+    dy: devil_sema::model::VarId,
+    buttons: devil_sema::model::VarId,
 }
 
 impl DevilBusmouse {
     /// Compiles the embedded specification and binds it at `base`.
     pub fn new(base: u64) -> Self {
-        DevilBusmouse { base, dev: crate::specs::instance(crate::specs::BUSMOUSE) }
+        let dev = crate::specs::instance(crate::specs::BUSMOUSE);
+        let ir = dev.ir();
+        let mouse_state = ir.struct_id("mouse_state").expect("spec exports mouse_state");
+        let dx = ir.var_id("dx").expect("spec exports dx");
+        let dy = ir.var_id("dy").expect("spec exports dy");
+        let buttons = ir.var_id("buttons").expect("spec exports buttons");
+        DevilBusmouse { base, dev, mouse_state, dx, dy, buttons }
     }
 
     /// Enables debug-mode run-time checks.
@@ -102,13 +114,15 @@ impl DevilBusmouse {
     }
 
     /// Reads a full motion sample: one structure read, then cached
-    /// field getters — Figure 3's stub usage.
+    /// field getters — Figure 3's stub usage. The struct plan performs
+    /// the 4 index writes and 4 data reads as straight-line steps; the
+    /// getters assemble from flat cache slots.
     pub fn read_state(&mut self, bus: &mut Bus) -> MouseState {
         let mut map = self.ports(bus);
-        self.dev.read_struct(&mut map, "mouse_state").expect("mouse_state readable");
-        let dx = self.dev.get_field_signed("dx").unwrap() as i8;
-        let dy = self.dev.get_field_signed("dy").unwrap() as i8;
-        let buttons = self.dev.get_field("buttons").unwrap() as u8;
+        self.dev.read_struct_id(&mut map, self.mouse_state).expect("mouse_state readable");
+        let dx = self.dev.get_field_signed_id(self.dx).unwrap() as i8;
+        let dy = self.dev.get_field_signed_id(self.dy).unwrap() as i8;
+        let buttons = self.dev.get_field_id(self.buttons).unwrap() as u8;
         MouseState { dx, dy, buttons }
     }
 }

@@ -152,6 +152,11 @@ pub struct DevilIde {
     data16: devil_sema::model::VarId,
     /// Resolved-once id of the 32-bit data variable.
     data32: devil_sema::model::VarId,
+    /// Resolved-once ids of the per-interrupt status variables: the
+    /// poll loop reads them through precompiled plans, no name lookups.
+    drq: devil_sema::model::VarId,
+    err: devil_sema::model::VarId,
+    bsy: devil_sema::model::VarId,
 }
 
 impl DevilIde {
@@ -160,7 +165,19 @@ impl DevilIde {
         let ide = crate::specs::instance(crate::specs::IDE);
         let data16 = ide.var_id("Ide_data").expect("spec exports Ide_data");
         let data32 = ide.var_id("Ide_data32").expect("spec exports Ide_data32");
-        DevilIde { base, ide, bm: crate::specs::instance(crate::specs::PIIX4), data16, data32 }
+        let drq = ide.var_id("drq").expect("spec exports drq");
+        let err = ide.var_id("err").expect("spec exports err");
+        let bsy = ide.var_id("bsy").expect("spec exports bsy");
+        DevilIde {
+            base,
+            ide,
+            bm: crate::specs::instance(crate::specs::PIIX4),
+            data16,
+            data32,
+            drq,
+            err,
+            bsy,
+        }
     }
 
     /// Enables debug-mode run-time checks on both interfaces.
@@ -219,13 +236,13 @@ impl DevilIde {
             {
                 // Per interrupt: three separate status-variable stubs
                 // (the paper's "+2 per interrupt" over the hand driver's
-                // single status read).
+                // single status read), each via its precompiled plan.
                 let mut map = self.ide_ports(bus);
-                let drq = self.ide.read(&mut map, "drq").unwrap();
+                let drq = self.ide.read_id(&mut map, self.drq, &[]).unwrap();
                 assert_eq!(drq, 1, "device must expose data");
-                let err = self.ide.read(&mut map, "err").unwrap();
+                let err = self.ide.read_id(&mut map, self.err, &[]).unwrap();
                 assert_eq!(err, 0, "device reported an error");
-                self.ide.read(&mut map, "bsy").unwrap();
+                self.ide.read_id(&mut map, self.bsy, &[]).unwrap();
             }
             let block = remaining.min(cfg.sectors_per_irq);
             let bytes = block as usize * SECTOR_SIZE;

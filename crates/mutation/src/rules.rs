@@ -24,6 +24,26 @@ pub enum SiteKind {
 }
 
 impl SiteKind {
+    /// The diagnostic classes (see [`diag_class`]) a mutant of this
+    /// site kind may legitimately trigger. Single-character edits stay
+    /// inside their token, so each kind has a characteristic error
+    /// profile: identifier mutants can never break the lexer (every
+    /// alphabet character extends a valid identifier) and, because
+    /// defining occurrences are excluded from the site set, never
+    /// collide into double definitions; integer mutants can overflow
+    /// the lexer, break parsing, or shift widths/offsets/overlaps;
+    /// bit-literal mutants additionally produce duplicate enum
+    /// patterns; operator mutants break lexing/parsing or typing.
+    /// The checker-fuzz suite asserts against these sets.
+    pub fn expected_classes(self) -> &'static [&'static str] {
+        match self {
+            SiteKind::Ident => &["PARSE", "T", "O", "V"],
+            SiteKind::DecInt | SiteKind::HexInt => &["LEX", "PARSE", "T", "O", "V"],
+            SiteKind::BitLit => &["PARSE", "T", "O", "D", "V"],
+            SiteKind::Operator => &["LEX", "PARSE", "T", "O"],
+        }
+    }
+
     fn alphabet(self) -> &'static [char] {
         match self {
             SiteKind::Ident => &[
@@ -209,6 +229,18 @@ pub fn devil_sites(src: &str) -> Vec<Site> {
     sites
 }
 
+/// The stable class of a diagnostic code: the middle segment of its
+/// string form (`E-T-WIDTH` → `T`), one of `LEX`, `PARSE`, `T`
+/// (typing), `O` (omission), `D` (double definition), `V` (overlap)
+/// or `R` (run-time, never produced by the static checker).
+pub fn diag_class(code: devil_syntax::ErrorCode) -> &'static str {
+    let s = &code.as_str()[2..]; // strip the "E-" prefix
+    match s.find('-') {
+        Some(i) => &s[..i],
+        None => s,
+    }
+}
+
 /// Extracts mutation sites from C source between `/*DEVIL:BEGIN*/` and
 /// `/*DEVIL:END*/` tags (the paper tags the hardware operating code and
 /// mutates only there). Untagged sources are fully mutable.
@@ -350,6 +382,32 @@ mod tests {
         assert!(sites.iter().any(|s| s.text == "|"));
         assert!(!sites.iter().any(|s| s.text == "outside"));
         assert!(!sites.iter().any(|s| s.text == "after"));
+    }
+
+    #[test]
+    fn diag_classes_are_the_documented_six() {
+        use devil_syntax::ErrorCode;
+        assert_eq!(diag_class(ErrorCode::LexBadInt), "LEX");
+        assert_eq!(diag_class(ErrorCode::ParseExpected), "PARSE");
+        assert_eq!(diag_class(ErrorCode::TWidthMismatch), "T");
+        assert_eq!(diag_class(ErrorCode::OUncoveredBits), "O");
+        assert_eq!(diag_class(ErrorCode::DDuplicateName), "D");
+        assert_eq!(diag_class(ErrorCode::VBitOverlap), "V");
+        assert_eq!(diag_class(ErrorCode::RValueRange), "R");
+    }
+
+    #[test]
+    fn expected_classes_exclude_runtime_codes() {
+        for kind in [
+            SiteKind::Ident,
+            SiteKind::DecInt,
+            SiteKind::HexInt,
+            SiteKind::BitLit,
+            SiteKind::Operator,
+        ] {
+            assert!(!kind.expected_classes().contains(&"R"), "{kind:?}");
+            assert!(!kind.expected_classes().is_empty(), "{kind:?}");
+        }
     }
 
     #[test]

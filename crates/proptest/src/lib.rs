@@ -52,13 +52,31 @@ macro_rules! __proptest_inner {
             $(#[$meta])+
             fn $name() {
                 let cfg = $cfg;
-                for case in 0..cfg.cases {
+                // PROPTEST_SEED=<n> replays exactly one case (the seed
+                // a failure printed); otherwise run the configured (or
+                // PROPTEST_CASES-overridden) number of cases.
+                if let Some(seed) = $crate::test_runner::env_seed() {
+                    let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = result {
+                        panic!("proptest replay PROPTEST_SEED={seed} failed: {e}");
+                    }
+                    return;
+                }
+                for case in 0..cfg.effective_cases() {
                     let mut rng = $crate::test_runner::TestRng::for_case(case);
                     $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng); )+
                     let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
                         (|| { $body Ok(()) })();
                     if let Err(e) = result {
-                        panic!("proptest case {case} failed: {e}");
+                        panic!(
+                            "proptest case {case} failed: {e}\n\
+                             replay with: PROPTEST_SEED={} cargo test {}",
+                            $crate::test_runner::TestRng::seed_for_case(case),
+                            stringify!($name),
+                        );
                     }
                 }
             }

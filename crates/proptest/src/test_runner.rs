@@ -20,6 +20,20 @@ impl Config {
     pub fn with_cases(cases: u32) -> Self {
         Config { cases }
     }
+
+    /// The case count actually run: `PROPTEST_CASES=<n>` in the
+    /// environment overrides the configured value, so CI can raise the
+    /// budget (scheduled fuzz runs) without touching test sources.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(self.cases)
+    }
+}
+
+/// The seed named by `PROPTEST_SEED=<n>` in the environment, if any.
+/// When set, each property test runs exactly that one case — the
+/// replay path for a seed printed by an earlier failure.
+pub fn env_seed() -> Option<u64> {
+    std::env::var("PROPTEST_SEED").ok()?.parse().ok()
 }
 
 /// A failed property case.
@@ -45,16 +59,29 @@ pub struct TestRng {
     state: u64,
 }
 
+const SEED_BASE: u64 = 0x9E37_79B9_7F4A_7C15;
+const SEED_MUL: u64 = 0xBF58_476D_1CE4_E5B9;
+
 impl TestRng {
-    /// The RNG for case number `case`.
-    pub fn for_case(case: u32) -> Self {
-        // SplitMix64 scramble of a fixed seed plus the case index keeps
-        // neighbouring cases decorrelated.
-        let mut z = 0x9E37_79B9_7F4A_7C15u64
-            .wrapping_add(u64::from(case).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    /// The RNG for an explicit seed (the replay path): `from_seed(
+    /// seed_for_case(n))` generates exactly case `n`'s inputs.
+    pub fn from_seed(seed: u64) -> Self {
+        // SplitMix64 scramble keeps neighbouring seeds decorrelated.
+        let mut z = seed;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         TestRng { state: (z ^ (z >> 31)) | 1 }
+    }
+
+    /// The replayable seed of case number `case` — printed on failure
+    /// so `PROPTEST_SEED=<seed>` reproduces the exact inputs.
+    pub fn seed_for_case(case: u32) -> u64 {
+        SEED_BASE.wrapping_add(u64::from(case).wrapping_mul(SEED_MUL))
+    }
+
+    /// The RNG for case number `case`.
+    pub fn for_case(case: u32) -> Self {
+        Self::from_seed(Self::seed_for_case(case))
     }
 
     /// Next raw 64-bit value.
@@ -115,6 +142,34 @@ mod tests {
         // Spans covering the whole u64 domain must not panic.
         let _ = r.range_inclusive(0, u64::MAX);
         let _ = r.range_inclusive(1, u64::MAX);
+    }
+
+    #[test]
+    fn seed_replays_exact_case() {
+        // The seed printed for a failing case regenerates that case's
+        // RNG stream bit-for-bit.
+        for case in [0u32, 1, 7, 255] {
+            let seed = TestRng::seed_for_case(case);
+            let a: Vec<u64> = {
+                let mut r = TestRng::for_case(case);
+                (0..8).map(|_| r.next_u64()).collect()
+            };
+            let b: Vec<u64> = {
+                let mut r = TestRng::from_seed(seed);
+                (0..8).map(|_| r.next_u64()).collect()
+            };
+            assert_eq!(a, b, "case {case}");
+        }
+    }
+
+    #[test]
+    fn effective_cases_defaults_to_config() {
+        // Without PROPTEST_CASES in the environment the configured
+        // value wins. (CI sets the variable only in the scheduled
+        // fuzz job.)
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(Config::with_cases(17).effective_cases(), 17);
+        }
     }
 
     #[test]
