@@ -115,6 +115,78 @@ fn bench_micro(c: &mut Criterion) {
         })
     });
 
+    // The paper's marquee conditional serialization: the full 8259A
+    // ICW init flush (icw1..icw4 + ocw1, with `sngl`/`ic4` guards),
+    // three ways. Fields are staged once; each iteration performs the
+    // five-register flush in CASCADED + IC4 mode.
+    //
+    // Hand-written baseline: the raw outb sequence.
+    g.bench_function("hand_pic_init", |b| {
+        let mut dev = FakeAccess::new();
+        b.iter(|| {
+            dev.write(0, 0, 8, 0x11); // ICW1: init marker, IC4, CASCADED
+            dev.write(0, 1, 8, 0x20); // ICW2: vector base
+            dev.write(0, 1, 8, 0x04); // ICW3: slave on IRQ2
+            dev.write(0, 1, 8, 0x01); // ICW4: 8086 mode
+            dev.write(0, 1, 8, 0xfb); // OCW1: mask
+            black_box(&dev);
+        })
+    });
+
+    let pic_instance = || {
+        let model = devil_sema::check_source(drivers::specs::PIC8259, &[]).unwrap();
+        DeviceInstance::new(devil_ir::lower(&model))
+    };
+    let stage_init = |inst: &mut DeviceInstance| {
+        let ir = inst.ir();
+        let fields: Vec<(devil_sema::model::VarId, u64)> = [
+            ("ic4", 1),
+            ("sngl", 0), // CASCADED: icw3 written
+            ("adi", 0),
+            ("ltim", 0),
+            ("vector_base", 0x20 >> 3),
+            ("cascade_map", 0x04),
+            ("sfnm", 0),
+            ("buffered", 0),
+            ("aeoi", 0),
+            ("microprocessor", 1),
+            ("irq_mask", 0xfb),
+        ]
+        .into_iter()
+        .map(|(n, v)| (ir.var_id(n).unwrap(), v))
+        .collect();
+        for (fid, v) in fields {
+            inst.set_field_id(fid, v).unwrap();
+        }
+    };
+
+    // The general interpreter: condition evaluation over the cached
+    // fields, per-register compose, dynamic order walk.
+    g.bench_function("interp_pic_init", |b| {
+        let mut inst = pic_instance();
+        inst.set_fast_plans(false);
+        let sid = inst.ir().struct_id("init").unwrap();
+        stage_init(&mut inst);
+        let mut dev = FakeAccess::new();
+        b.iter(|| {
+            inst.write_struct_id(&mut dev, sid).unwrap();
+            black_box(&dev);
+        })
+    });
+
+    // The guard-split plan: two slot guards select the straight-line
+    // variant, then five arena steps execute.
+    g.bench_function("plan_pic_init", |b| {
+        let mut inst = pic_instance();
+        let sid = inst.ir().struct_id("init").unwrap();
+        stage_init(&mut inst);
+        let mut dev = FakeAccess::new();
+        b.iter(|| {
+            inst.write_struct_id(&mut dev, sid).unwrap();
+            black_box(&dev);
+        })
+    });
+
     // Compilation pipeline cost: parse + check + lower.
     g.bench_function("compile_busmouse_spec", |b| {
         b.iter(|| {

@@ -12,6 +12,7 @@ use std::path::PathBuf;
 
 const SPEC: &str = include_str!("../../../specs/busmouse.dil");
 const SPEC_DMA: &str = include_str!("../../../specs/dma8237.dil");
+const SPEC_PIC: &str = include_str!("../../../specs/pic8259.dil");
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("goldens").join(name)
@@ -76,6 +77,44 @@ fn dma8237_golden_serializes_low_byte_first() {
     let low = set.find("dma__write_addr0_low").expect("low byte written");
     let high = set.find("dma__write_addr0_high").expect("high byte written");
     assert!(low < high, "serialization order lost:\n{set}");
+}
+
+/// A third C golden on the conditional-serialization device: the
+/// 8259A's `if (sngl == CASCADED) icw3; if (ic4 == YES) icw4;` order
+/// is pinned so guard-split and emitter refactors cannot silently
+/// change the generated init flush.
+#[test]
+fn pic8259_c_output_matches_golden() {
+    let got = devil_codegen::compile_to_c(SPEC_PIC, "pic").unwrap();
+    assert_matches_golden("pic8259_pic.h", &got);
+}
+
+#[test]
+fn pic8259_golden_keeps_the_icw_flush_order() {
+    let h = devil_codegen::compile_to_c(SPEC_PIC, "pic").unwrap();
+    // Every ICW register appears (inside its guard where conditional),
+    // flushed in automaton order, OCW1 last.
+    let mut lines = h.lines().skip_while(|l| !l.starts_with("#define pic_put_init"));
+    let mut put = String::new();
+    for l in lines.by_ref() {
+        put.push_str(l);
+        put.push('\n');
+        if !l.ends_with('\\') {
+            break;
+        }
+    }
+    let pos = |name: &str| {
+        put.find(&format!("pic__write_{name}")).unwrap_or_else(|| panic!("{name} written:\n{put}"))
+    };
+    let order = [pos("icw1"), pos("icw2"), pos("icw3"), pos("icw4"), pos("ocw1")];
+    assert!(order.windows(2).all(|w| w[0] < w[1]), "ICW order lost:\n{put}");
+    // The conditional steps are real guards over the cached bits — the
+    // generated flush skips ICW3/ICW4 exactly as the interpreter's
+    // guard-split plans do, not an unconditional flattening.
+    assert!(put.contains("? (pic__write_icw3"), "icw3 must be guarded:\n{put}");
+    assert!(put.contains("? (pic__write_icw4"), "icw4 must be guarded:\n{put}");
+    assert!(put.contains("pic_cache.cache_icw1 & 0x2u"), "sngl bit tested:\n{put}");
+    assert!(put.contains("pic_cache.cache_icw1 & 0x1u"), "ic4 bit tested:\n{put}");
 }
 
 #[test]

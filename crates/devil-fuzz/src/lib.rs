@@ -139,19 +139,22 @@ pub fn decode(ir: &DeviceIr, words: &[u64]) -> Vec<Op> {
         }
         let vid = VarId(((w >> 4) % nvars as u64) as u32);
         match w % 16 {
-            0..=4 => ops.push(Op::ReadVar { vid, args: args_for(ir, vid, w, &mut cur) }),
-            5..=9 => {
+            0..=3 => ops.push(Op::ReadVar { vid, args: args_for(ir, vid, w, &mut cur) }),
+            4..=8 => {
                 let args = args_for(ir, vid, w, &mut cur);
                 ops.push(Op::WriteVar { vid, args, value: cur.pull() });
             }
-            10 | 11 if nstructs > 0 => {
-                let sid = StructId(((w >> 4) % nstructs as u64) as u32);
-                ops.push(Op::ReadStruct { sid });
-            }
-            12 if nstructs > 0 => {
+            // Structure writes get three opcodes: conditional
+            // serializations (the pic8259/piix4ide init shapes) are the
+            // guard-split plans the fuzzer must keep hammering.
+            9..=11 if nstructs > 0 => {
                 let sid = StructId(((w >> 4) % nstructs as u64) as u32);
                 let values = ir.strct(sid).fields.iter().map(|&fid| (fid, cur.pull())).collect();
                 ops.push(Op::WriteStruct { sid, values });
+            }
+            12 if nstructs > 0 => {
+                let sid = StructId(((w >> 4) % nstructs as u64) as u32);
+                ops.push(Op::ReadStruct { sid });
             }
             13 if !block_vars.is_empty() => {
                 let vid = block_vars[((w >> 4) % block_vars.len() as u64) as usize];
@@ -253,6 +256,53 @@ pub fn sweep_ops(ir: &DeviceIr) -> Vec<Op> {
                 ops.push(Op::WriteStruct { sid, values });
             }
             ops.push(Op::ReadStruct { sid });
+        }
+    }
+    ops
+}
+
+/// A deterministic init-sequence sweep aimed at conditional
+/// serializations (the pic8259 ICW automaton): every structure is
+/// flushed twice per round over sixteen rounds. The first flush
+/// assigns field `k` the bit `(round >> (k % 4)) & 1`, so 1-bit
+/// tested fields at struct indices 0..3 (mod 4) — pic8259's `ic4`
+/// (index 0) and `sngl` (index 1) among them — sweep their full guard
+/// cross product; the second flush writes `round ^ (0x5a + k)` for
+/// non-trivial payload bits. Each round ends with a read probe of
+/// every plain readable variable, so silent cache divergence between
+/// plan variants and the general path surfaces. (Wider tested fields
+/// and exotic layouts are additionally covered by the random proptest
+/// stream.)
+pub fn init_sweep_ops(ir: &DeviceIr) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for round in 0..16u64 {
+        for si in 0..ir.structs.len() as u32 {
+            let sid = StructId(si);
+            let values: Vec<(VarId, u64)> = ir
+                .strct(sid)
+                .fields
+                .iter()
+                .enumerate()
+                .map(|(k, &fid)| (fid, (round >> (k as u64 % 4)) & 1))
+                .collect();
+            ops.push(Op::WriteStruct { sid, values });
+            let payload: Vec<(VarId, u64)> = ir
+                .strct(sid)
+                .fields
+                .iter()
+                .enumerate()
+                .map(|(k, &fid)| (fid, round ^ (0x5a + k as u64)))
+                .collect();
+            ops.push(Op::WriteStruct { sid, values: payload });
+        }
+        // Probe every readable variable so silent cache divergence
+        // between the variants and the general path surfaces.
+        for vi in 0..ir.vars.len() as u32 {
+            let vid = VarId(vi);
+            let var = ir.var(vid);
+            if var.readable && var.params.is_empty() {
+                ops.push(Op::ReadVar { vid, args: Vec::new() });
+            }
         }
     }
     ops

@@ -10,8 +10,9 @@
 //! `PROPTEST_SEED` that replays it exactly; CI's scheduled job raises
 //! the case count via `PROPTEST_CASES`.
 
-use devil_fuzz::{check_equivalence, decode, sweep_ops};
+use devil_fuzz::{check_equivalence, decode, init_sweep_ops, sweep_ops, Op};
 use devil_ir::DeviceIr;
+use devil_runtime::{DeviceInstance, FakeAccess};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -44,7 +45,9 @@ fn coverage_sweep_agrees_on_all_devices() {
 
 /// Steady-state plans really are hot on the spec library: every device
 /// compiles at least one access plan, and the Figure 3 devices compile
-/// their struct/family plans specifically.
+/// their struct/family plans specifically. With guard-splitting, the
+/// 8259A's conditional init automaton — the last structural reason any
+/// shipped spec ran on the general interpreter — compiles too.
 #[test]
 fn spec_library_compiles_the_expected_plans() {
     for (name, ir) in irs() {
@@ -61,6 +64,48 @@ fn spec_library_compiles_the_expected_plans() {
     assert!(id.write_plan.is_some());
     let xd = cs.var(cs.var_id("XD").unwrap());
     assert!(xd.read_plan.is_some(), "cs4236b extended registers must plan-compile");
+    let pic = &irs().iter().find(|(n, _)| *n == "pic8259").unwrap().1;
+    let init = pic.strct(pic.struct_id("init").unwrap());
+    let wp = init.write_plan.as_ref().expect("pic8259 init must guard-split");
+    assert_eq!(wp.variants.len(), 4, "sngl × ic4 cross product");
+    assert!(wp.variants.iter().all(|v| !v.guards.is_empty()));
+}
+
+/// The init-sequence sweep: every structure flushed across its whole
+/// guard domain, equivalent in both interpreter modes on every device.
+#[test]
+fn init_sequence_sweep_agrees_on_all_devices() {
+    for (name, ir) in irs() {
+        let ops = init_sweep_ops(ir);
+        if let Err(e) = check_equivalence(ir, &ops) {
+            panic!("{name}: init sweep diverges\n{e}");
+        }
+    }
+}
+
+/// Conditional struct writes must actually execute guard-selected plan
+/// variants in fast mode — not fall back to the general interpreter.
+#[test]
+fn conditional_writes_take_guarded_variants_in_fast_mode() {
+    let pic = &irs().iter().find(|(n, _)| *n == "pic8259").unwrap().1;
+    let sid = pic.struct_id("init").unwrap();
+    let mut inst = DeviceInstance::new(pic.clone());
+    let mut dev = FakeAccess::new();
+    // Drive all four guard combinations: sngl ∈ {0,1} × ic4 ∈ {0,1}.
+    for combo in 0..4u64 {
+        let values: Vec<_> = pic
+            .strct(sid)
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(k, &fid)| (fid, (combo >> (k % 2)) & 1))
+            .collect();
+        let ops = [Op::WriteStruct { sid, values }];
+        devil_fuzz::run(&mut inst, &mut dev, &ops);
+    }
+    let stats = inst.plan_stats();
+    assert_eq!(stats.guarded, 4, "every conditional flush takes a guarded variant: {stats:?}");
+    assert_eq!(stats.general, 0, "no general fallback in fast mode: {stats:?}");
 }
 
 proptest! {

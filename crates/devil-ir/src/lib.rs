@@ -17,11 +17,20 @@
 //! * **precompiled plans**: a compile-time symbolic execution of the
 //!   general interpreter flattens each access — including foldable
 //!   pre/post/set actions, structure flushes and family indexing —
-//!   into a straight-line [`PlanStep`] list.
+//!   into straight-line [`PlanStep`] lists,
+//! * **guard-split variants**: conditional serialization orders
+//!   (`if (sngl == CASCADED) icw3`) are compiled by enumerating the raw
+//!   cache values of the tested variables and emitting one straight-line
+//!   variant per combination; a [`PlanGuard`] list selects the variant
+//!   from flat cache slots at run time,
+//! * **plan arena**: every variant's steps live in one contiguous
+//!   per-device `Vec<PlanStep>` ([`DeviceIr::plan_arena`]); a variant is
+//!   a `(start, len)` range into it, so dispatch is an index and
+//!   execution walks a single cache-friendly slice.
 
 use devil_sema::model::{
-    Action, ActionTarget, ActionValue, Behavior, CheckedDevice, ChunkArg, FamilyParam, Neutral,
-    Offset, PortBinding, RegId, SerStep, StructId, TypeSem, VarId,
+    Action, ActionTarget, ActionValue, Behavior, CheckedDevice, ChunkArg, CondSem, FamilyParam,
+    Neutral, Offset, PortBinding, RegId, SerStep, StructId, TypeSem, VarId,
 };
 use std::sync::Arc;
 
@@ -29,6 +38,12 @@ use std::sync::Arc;
 /// family (the product of its parameter-domain sizes). Families with
 /// larger domains keep the runtime's hashed fallback cache.
 const FAMILY_SLOT_CAP: u128 = 4096;
+
+/// Cap on the guard domain of one conditional serialization order: the
+/// product of the tested variables' raw-value spaces (`2^width` each).
+/// Orders testing wider fields keep the general path, mirroring the
+/// family slot cap above.
+const GUARD_DOMAIN_CAP: u128 = 4096;
 
 /// Step budget for one compiled plan: accesses whose expansion exceeds
 /// this (deep automata, huge serializations) keep the general path.
@@ -56,6 +71,11 @@ pub struct DeviceIr {
     /// Number of flat cache slots: one per non-family register plus one
     /// per family-register instance (domains up to the slot cap).
     pub cache_slots: usize,
+    /// The plan arena: every compiled variant's steps, contiguous.
+    /// Plans reference `(start, len)` ranges into it, so executing a
+    /// variant walks one slice and dispatch never chases a pointer.
+    /// Shared via `Arc` so cloning a `DeviceIr` never copies the steps.
+    pub plan_arena: Arc<[PlanStep]>,
     /// Interned name table: `(name, id)` sorted by name, for
     /// hash-free variable resolution.
     var_names: Vec<(String, VarId)>,
@@ -279,26 +299,124 @@ impl PlanStep {
     }
 }
 
-/// A precompiled linear access plan for one variable direction.
+/// One run-time guard of a plan variant: the variant applies when the
+/// cached raw bits at `slot`, masked by `mask`, equal `expected`.
+/// Never-cached slots compare as 0 — exactly the general interpreter's
+/// `assemble_cached` default for unread registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanGuard {
+    /// The guarded flat cache slot.
+    pub slot: usize,
+    /// Register bits of the tested segment.
+    pub mask: u64,
+    /// Expected masked value (the tested variable's bits in place).
+    pub expected: u64,
+}
+
+impl PlanGuard {
+    /// Whether the guard holds for the given cache state.
+    #[inline]
+    pub fn holds(&self, slots: &[u64], slot_valid: &[bool]) -> bool {
+        let raw = if slot_valid[self.slot] { slots[self.slot] } else { 0 };
+        raw & self.mask == self.expected
+    }
+}
+
+/// One straight-line version of a (possibly guard-split) plan: a
+/// conjunction of slot guards plus a step range in the device's
+/// [plan arena](DeviceIr::plan_arena).
+#[derive(Clone, Debug)]
+pub struct PlanVariant {
+    /// Guards selecting this variant; all must hold. Empty for the
+    /// single variant of an unconditional access. Selection does not
+    /// scan these — [`AccessPlan::select_variant`] indexes by the
+    /// assembled tested values — but they document each variant's
+    /// domain and back the debug cross-check.
+    pub guards: Vec<PlanGuard>,
+    /// First step in the arena.
+    pub start: u32,
+    /// Number of steps.
+    pub len: u32,
+}
+
+/// One tested variable of a guard-split plan's variant selector: the
+/// segments assembling its value from flat cache slots, and the size
+/// of its raw-value space.
+#[derive(Clone, Debug)]
+pub struct SelectorDim {
+    /// `(slot, segment)` pairs assembling the tested value (uncached
+    /// slots contribute 0, as in the general interpreter).
+    pub segs: Vec<(usize, FieldSeg)>,
+    /// `2^width` — the mixed-radix base of this dimension.
+    pub radix: usize,
+}
+
+/// A precompiled access plan for one variable or structure direction.
 ///
 /// Compiled whenever the whole access — including pre/post/set actions
 /// and structure flushes it triggers — is statically a straight line of
-/// register accesses and memory-cell updates. Conditional serialization
-/// steps, action values read from other variables, hashed family caches
-/// and over-budget expansions fall back to the general interpreter.
+/// register accesses and memory-cell updates for **every** combination
+/// of the values its serialization conditionals test. Unconditional
+/// accesses compile a single unguarded variant; conditional orders
+/// guard-split into one variant per tested-value combination. Action
+/// values read from other variables, hashed family caches, nested
+/// conditionals reached through actions, guard domains past
+/// [`GUARD_DOMAIN_CAP`] and over-budget expansions fall back to the
+/// general interpreter.
 #[derive(Clone, Debug, Default)]
 pub struct AccessPlan {
-    /// Steps, in execution order.
-    pub steps: Vec<PlanStep>,
+    /// Straight-line variants. The guard enumeration is exhaustive over
+    /// the tested variables' raw-value spaces, so exactly one variant
+    /// matches any cache state, and variants are laid out in
+    /// mixed-radix order of the tested values (first tested variable
+    /// most significant) so selection is an indexed lookup.
+    pub variants: Vec<PlanVariant>,
+    /// The tested variables' cache segments, one dimension per tested
+    /// variable in enumeration order. Empty for unconditional plans.
+    pub selector: Vec<SelectorDim>,
     /// `(slot, segment)` pairs assembling the read value from the cache
-    /// (empty for write plans).
+    /// (empty for write plans; shared by all variants).
     pub assemble: Vec<(PlanSlot, FieldSeg)>,
     /// The deepest action-recursion level the general interpreter would
-    /// reach executing this access from depth 0. The runtime only takes
-    /// a plan when the current depth plus this bound stays within its
-    /// recursion limit, so a plan can never succeed where the general
-    /// path would report `RecursionLimit`.
+    /// reach executing this access from depth 0 (the maximum over all
+    /// variants). The runtime only takes a plan when the current depth
+    /// plus this bound stays within its recursion limit, so a plan can
+    /// never succeed where the general path would report
+    /// `RecursionLimit`.
     pub max_depth: u32,
+}
+
+impl AccessPlan {
+    /// Selects the variant matching the given cache state: the tested
+    /// variables assemble from their slots and index the mixed-radix
+    /// variant table directly — O(tested segments), never a scan over
+    /// the variants, so a wide guard domain costs no more to dispatch
+    /// than a narrow one. Unconditional plans return their single
+    /// variant without touching the cache. `None` is unreachable for
+    /// plans this crate compiles (enumeration is exhaustive over the
+    /// full raw-value spaces) but callers treat it as a general-path
+    /// fallback for defence in depth.
+    #[inline]
+    pub fn select_variant(&self, slots: &[u64], slot_valid: &[bool]) -> Option<&PlanVariant> {
+        if self.selector.is_empty() {
+            return self.variants.first();
+        }
+        let mut idx = 0usize;
+        for dim in &self.selector {
+            let mut v = 0u64;
+            for &(slot, seg) in &dim.segs {
+                let raw = if slot_valid[slot] { slots[slot] } else { 0 };
+                v |= seg.extract(raw);
+            }
+            idx = idx * dim.radix + v as usize;
+        }
+        let variant = self.variants.get(idx)?;
+        debug_assert!(
+            variant.guards.iter().all(|g| g.holds(slots, slot_valid)),
+            "selector index and guard list disagree"
+        );
+        Some(variant)
+    }
 }
 
 /// A port descriptor.
@@ -372,12 +490,13 @@ pub struct RegIr {
     pub and_mask: u64,
     /// Family parameters (empty for concrete registers).
     pub params: Vec<FamilyParam>,
-    /// Pre-access actions.
-    pub pre: Vec<Action>,
+    /// Pre-access actions. `Arc`-shared: the general interpreter takes
+    /// a handle per register access, which must not allocate.
+    pub pre: Arc<[Action]>,
     /// Post-access actions.
-    pub post: Vec<Action>,
+    pub post: Arc<[Action]>,
     /// Private-state updates on access.
-    pub set: Vec<Action>,
+    pub set: Arc<[Action]>,
     /// Every variable segment laid over this register.
     pub fields: Vec<FieldSeg>,
     /// Whether any variable on this register is volatile (the register's
@@ -507,9 +626,9 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
                 or_mask,
                 and_mask,
                 params: r.params.clone(),
-                pre: r.pre.clone(),
-                post: r.post.clone(),
-                set: r.set.clone(),
+                pre: r.pre.clone().into(),
+                post: r.post.clone().into(),
+                set: r.set.clone().into(),
                 fields: Vec::new(),
                 volatile: false,
                 slot,
@@ -633,15 +752,18 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
 
     // Final pass: symbolically execute every access now that registers,
     // variables and structures (and thus trigger layouts and flush
-    // orders) are fully known.
+    // orders) are fully known. All compiled variants append their steps
+    // to one shared arena.
+    let mut arena: Vec<PlanStep> = Vec::new();
     for vi in 0..vars.len() {
-        let (read_plan, write_plan) = compile_var_plans(VarId(vi as u32), &vars, &regs, &structs);
+        let (read_plan, write_plan) =
+            compile_var_plans(VarId(vi as u32), &vars, &regs, &structs, &mut arena);
         vars[vi].read_plan = read_plan;
         vars[vi].write_plan = write_plan;
     }
     for si in 0..structs.len() {
         let (read_plan, write_plan) =
-            compile_struct_plans(StructId(si as u32), &vars, &regs, &structs);
+            compile_struct_plans(StructId(si as u32), &vars, &regs, &structs, &mut arena);
         structs[si].read_plan = read_plan;
         structs[si].write_plan = write_plan;
     }
@@ -667,6 +789,7 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
         structs,
         mem_cells,
         cache_slots,
+        plan_arena: arena.into(),
         var_names,
         reg_names,
         struct_names,
@@ -703,7 +826,9 @@ fn family_slot_range(params: &[FamilyParam], cache_slots: &mut usize) -> Option<
 }
 
 /// Flattens a serialization order to register ids; `None` when it has
-/// conditional steps (which depend on run-time cache state).
+/// conditional steps. Used for accesses reached *through actions*,
+/// whose conditions would be evaluated mid-plan — top-level accesses
+/// guard-split conditional orders instead (see [`guard_split`]).
 fn regs_of(order: &[SerStep]) -> Option<Vec<RegId>> {
     order
         .iter()
@@ -928,27 +1053,43 @@ impl<'a> PlanBuilder<'a> {
         self.actions(&set, reg_args, depth + 1)
     }
 
-    /// Simulates a variable read: every register of the access order.
-    fn read_var(&mut self, vid: VarId, args: &[PlanValue], depth: u32) -> Option<()> {
+    /// Simulates a variable read over a pre-flattened register order.
+    fn read_var_ordered(&mut self, vid: VarId, args: &[PlanValue], order: &[RegId]) -> Option<()> {
         let var = &self.vars[vid.0 as usize];
         if var.mem_cell.is_some() || !var.readable {
             return None;
         }
-        let order = regs_of(&var.read_order)?;
-        for rid in order {
+        for &rid in order {
             let reg_args = self.reg_args_for(vid, rid, args);
-            self.read_reg(rid, &reg_args, depth)?;
+            self.read_reg(rid, &reg_args, 0)?;
         }
         Some(())
     }
 
-    /// Simulates a variable write: the general path's store/compose
-    /// fused per register, then the variable's own set actions.
+    /// Simulates a variable write reached through an action. Nested
+    /// conditional orders keep the general path: their conditions would
+    /// be evaluated mid-access, where the plan's entry guards no longer
+    /// describe the cache.
     fn write_var(
         &mut self,
         vid: VarId,
         value: PlanValue,
         args: &[PlanValue],
+        depth: u32,
+    ) -> Option<()> {
+        let order = regs_of(&self.vars[vid.0 as usize].write_order)?;
+        self.write_var_ordered(vid, value, args, &order, depth)
+    }
+
+    /// Simulates a variable write over a pre-flattened register order:
+    /// the general path's store/compose fused per register, then the
+    /// variable's own set actions.
+    fn write_var_ordered(
+        &mut self,
+        vid: VarId,
+        value: PlanValue,
+        args: &[PlanValue],
+        order: &[RegId],
         depth: u32,
     ) -> Option<()> {
         self.note_depth(depth)?;
@@ -964,7 +1105,6 @@ impl<'a> PlanBuilder<'a> {
         if !var.writable {
             return None;
         }
-        let order = regs_of(&var.write_order)?;
         // The general path stores the new bits into every backing
         // register's cache up front; the fused formula inserts them at
         // each register's own write step, so the order must cover all
@@ -973,7 +1113,7 @@ impl<'a> PlanBuilder<'a> {
             return None;
         }
         let guard_start = self.guarded.len();
-        for &rid in &order {
+        for &rid in order {
             let reg_args = self.reg_args_for(vid, rid, args);
             let slot = self.slot_for(rid, &reg_args)?;
             self.guarded.push(Some(slot));
@@ -1044,19 +1184,31 @@ impl<'a> PlanBuilder<'a> {
         self.flush_struct(sid, assigned, depth)
     }
 
-    /// Simulates `write_struct`: compose every register of the write
-    /// order from the cache (plus the `assigned` field inserts) and
-    /// write it, then run field-level set actions.
+    /// Simulates `write_struct` reached through an action; nested
+    /// conditional orders keep the general path (see [`Self::write_var`]).
     fn flush_struct(
         &mut self,
         sid: StructId,
         assigned: &[(VarId, PlanValue)],
         depth: u32,
     ) -> Option<()> {
+        let order = regs_of(&self.structs[sid.0 as usize].write_order)?;
+        self.flush_struct_ordered(sid, assigned, &order, depth)
+    }
+
+    /// Simulates `write_struct` over a pre-flattened register order:
+    /// compose every register from the cache (plus the `assigned` field
+    /// inserts) and write it, then run field-level set actions.
+    fn flush_struct_ordered(
+        &mut self,
+        sid: StructId,
+        assigned: &[(VarId, PlanValue)],
+        order: &[RegId],
+        depth: u32,
+    ) -> Option<()> {
         self.note_depth(depth)?;
         let st = &self.structs[sid.0 as usize];
         let fields = st.fields.clone();
-        let order = regs_of(&st.write_order)?;
         // The general path stores every assigned field's bits into its
         // registers' caches up front; the fused formula only inserts
         // them at registers the order actually flushes, so each
@@ -1071,7 +1223,7 @@ impl<'a> PlanBuilder<'a> {
         // write step; guard the pending slots (store/compose inversion,
         // as in `write_var`).
         let guard_start = self.guarded.len();
-        for &rid in &order {
+        for &rid in order {
             let slot = self.slot_for(rid, &[])?;
             self.guarded.push(Some(slot));
         }
@@ -1109,10 +1261,10 @@ impl<'a> PlanBuilder<'a> {
         Some(())
     }
 
-    /// Simulates `read_struct`: every register of the read order once.
-    fn read_struct(&mut self, sid: StructId) -> Option<()> {
-        let order = regs_of(&self.structs[sid.0 as usize].read_order)?;
-        for rid in order {
+    /// Simulates `read_struct` over a pre-flattened register order:
+    /// every register once.
+    fn read_struct_ordered(&mut self, order: &[RegId]) -> Option<()> {
+        for &rid in order {
             self.read_reg(rid, &[], 0)?;
         }
         Some(())
@@ -1129,37 +1281,249 @@ fn chunk_args(args: &[ChunkArg], var_args: &[PlanValue]) -> Vec<PlanValue> {
         .collect()
 }
 
+/// Collects the variables a serialization order's conditionals test.
+fn collect_cond_vars(steps: &[SerStep], out: &mut Vec<VarId>) {
+    for s in steps {
+        if let SerStep::If { cond, then, els } = s {
+            cond_vars(cond, out);
+            collect_cond_vars(then, out);
+            collect_cond_vars(els, out);
+        }
+    }
+}
+
+fn cond_vars(cond: &CondSem, out: &mut Vec<VarId>) {
+    match cond {
+        CondSem::Cmp { var, .. } => {
+            if !out.contains(var) {
+                out.push(*var);
+            }
+        }
+        CondSem::And(a, b) | CondSem::Or(a, b) => {
+            cond_vars(a, out);
+            cond_vars(b, out);
+        }
+        CondSem::Not(a) => cond_vars(a, out),
+    }
+}
+
+/// Evaluates a guard condition under a static assignment of raw values
+/// to the tested variables (every tested variable is assigned).
+fn eval_cond_static(cond: &CondSem, assign: &[(VarId, u64)]) -> bool {
+    match cond {
+        CondSem::Cmp { var, eq, value } => {
+            let v = assign.iter().find(|(id, _)| id == var).map(|&(_, v)| v).unwrap_or(0);
+            (v == *value) == *eq
+        }
+        CondSem::And(a, b) => eval_cond_static(a, assign) && eval_cond_static(b, assign),
+        CondSem::Or(a, b) => eval_cond_static(a, assign) || eval_cond_static(b, assign),
+        CondSem::Not(a) => !eval_cond_static(a, assign),
+    }
+}
+
+/// Flattens an order to register ids under a static assignment (every
+/// conditional is decidable).
+fn flatten_order(steps: &[SerStep], assign: &[(VarId, u64)], out: &mut Vec<RegId>) {
+    for s in steps {
+        match s {
+            SerStep::Reg(r) => out.push(*r),
+            SerStep::If { cond, then, els } => {
+                if eval_cond_static(cond, assign) {
+                    flatten_order(then, assign, out);
+                } else {
+                    flatten_order(els, assign, out);
+                }
+            }
+        }
+    }
+}
+
+/// The fixed cache slot a tested variable's segment resolves to, when
+/// statically known: a concrete register, or a family instance with
+/// constant arguments inside an indexed slot range.
+fn fixed_slot(regs: &[RegIr], seg: &VarSeg) -> Option<usize> {
+    let reg = &regs[seg.reg.0 as usize];
+    if let Some(s) = reg.slot {
+        return Some(s);
+    }
+    let args: Option<Vec<u64>> = seg
+        .args
+        .iter()
+        .map(|a| match a {
+            ChunkArg::Const(c) => Some(*c),
+            ChunkArg::Param(_) => None,
+        })
+        .collect();
+    reg.family_slots.as_ref()?.slot_of(&args?)
+}
+
+/// Whether any register bit of `a` is also a register bit of `b`.
+fn var_bits_overlap(a: &VarIr, b: &VarIr) -> bool {
+    a.segs.iter().any(|sa| {
+        b.segs.iter().any(|sb| sa.reg == sb.reg && sa.seg.reg_mask() & sb.seg.reg_mask() != 0)
+    })
+}
+
+/// Guard-splits a serialization order: one `(guards, flattened
+/// register order)` pair per combination of raw cache values of the
+/// variables its conditionals test, in mixed-radix order (first tested
+/// variable most significant, matching the selector's indexing), plus
+/// the [`SelectorDim`] list that picks the combination at run time.
+/// Unconditional orders yield a single unguarded pair and an empty
+/// selector.
+///
+/// `written` names the variable whose new bits the general path stores
+/// into the cache *before* evaluating the conditions (a variable
+/// write). An order testing that variable — or any bit it owns —
+/// cannot be guarded against the plan's entry state, so it keeps the
+/// general path. Other bail-outs: memory-cell or parameterized tested
+/// variables, segments without a fixed slot, and guard domains past
+/// [`GUARD_DOMAIN_CAP`].
+#[allow(clippy::type_complexity)]
+fn guard_split(
+    order: &[SerStep],
+    vars: &[VarIr],
+    regs: &[RegIr],
+    written: Option<VarId>,
+) -> Option<(Vec<SelectorDim>, Vec<(Vec<PlanGuard>, Vec<RegId>)>)> {
+    let mut tested: Vec<VarId> = Vec::new();
+    collect_cond_vars(order, &mut tested);
+    if tested.is_empty() {
+        let mut flat = Vec::new();
+        flatten_order(order, &[], &mut flat);
+        return Some((Vec::new(), vec![(Vec::new(), flat)]));
+    }
+    let mut domain: u128 = 1;
+    let mut selector = Vec::with_capacity(tested.len());
+    for &tv in &tested {
+        let var = &vars[tv.0 as usize];
+        // The general interpreter evaluates conditions by assembling
+        // the tested variable from the cache with no arguments; only
+        // plain register-backed variables reproduce as slot guards.
+        if var.mem_cell.is_some() || !var.params.is_empty() {
+            return None;
+        }
+        if let Some(w) = written {
+            if w == tv || var_bits_overlap(&vars[w.0 as usize], var) {
+                return None;
+            }
+        }
+        if var.width >= 64 {
+            return None;
+        }
+        domain = domain.checked_mul(1u128 << var.width)?;
+        if domain > GUARD_DOMAIN_CAP {
+            return None;
+        }
+        let segs: Option<Vec<(usize, FieldSeg)>> =
+            var.segs.iter().map(|s| fixed_slot(regs, s).map(|slot| (slot, s.seg))).collect();
+        selector.push(SelectorDim { segs: segs?, radix: 1usize << var.width });
+    }
+    // Enumerate every combination (mixed radix, last variable fastest);
+    // each yields per-segment equality guards and a flattened order.
+    let mut variants = Vec::with_capacity(domain as usize);
+    let mut assign: Vec<(VarId, u64)> = tested.iter().map(|&tv| (tv, 0)).collect();
+    loop {
+        let mut guards = Vec::new();
+        for &(tv, v) in &assign {
+            for seg in &vars[tv.0 as usize].segs {
+                guards.push(PlanGuard {
+                    slot: fixed_slot(regs, seg)?,
+                    mask: seg.seg.reg_mask(),
+                    expected: seg.seg.insert(v),
+                });
+            }
+        }
+        let mut flat = Vec::new();
+        flatten_order(order, &assign, &mut flat);
+        variants.push((guards, flat));
+        let mut i = assign.len();
+        loop {
+            if i == 0 {
+                return Some((selector, variants));
+            }
+            i -= 1;
+            let max = (1u64 << vars[assign[i].0 .0 as usize].width) - 1;
+            if assign[i].1 < max {
+                assign[i].1 += 1;
+                break;
+            }
+            assign[i].1 = 0;
+        }
+    }
+}
+
+/// Compiles every guard-split variant through its own symbolic
+/// execution, appending the straight-line steps to the shared arena.
+/// Every variant must compile or the whole access keeps the general
+/// path (the arena is rolled back, leaving no dead steps).
+fn compile_variants(
+    splits: Vec<(Vec<PlanGuard>, Vec<RegId>)>,
+    vars: &[VarIr],
+    regs: &[RegIr],
+    structs: &[StructIr],
+    params: &[FamilyParam],
+    arena: &mut Vec<PlanStep>,
+    mut body: impl FnMut(&mut PlanBuilder, &[RegId]) -> Option<()>,
+) -> Option<(Vec<PlanVariant>, u32)> {
+    let rollback = arena.len();
+    let mut variants = Vec::with_capacity(splits.len());
+    let mut max_depth = 0;
+    for (guards, order) in splits {
+        let mut b = PlanBuilder::new(vars, regs, structs, params);
+        if body(&mut b, &order).is_none() {
+            arena.truncate(rollback);
+            return None;
+        }
+        max_depth = max_depth.max(b.max_depth);
+        let start = arena.len() as u32;
+        arena.extend(b.steps);
+        variants.push(PlanVariant { guards, start, len: arena.len() as u32 - start });
+    }
+    Some((variants, max_depth))
+}
+
 /// Compiles the read/write plans for one variable, when the access
-/// qualifies (see [`AccessPlan`]).
+/// qualifies (see [`AccessPlan`]). Compiled steps land in `arena`.
 fn compile_var_plans(
     vid: VarId,
     vars: &[VarIr],
     regs: &[RegIr],
     structs: &[StructIr],
+    arena: &mut Vec<PlanStep>,
 ) -> (Option<Arc<AccessPlan>>, Option<Arc<AccessPlan>>) {
     let var = &vars[vid.0 as usize];
     if var.mem_cell.is_some() {
         return (None, None);
     }
     let args: Vec<PlanValue> = (0..var.params.len()).map(PlanValue::Arg).collect();
-    let assemble_for = |b: &PlanBuilder| -> Option<Vec<(PlanSlot, FieldSeg)>> {
-        var.segs
-            .iter()
-            .map(|s| b.slot_for(s.reg, &chunk_args(&s.args, &args)).map(|slot| (slot, s.seg)))
-            .collect()
-    };
     let read = if var.readable {
-        let mut b = PlanBuilder::new(vars, regs, structs, &var.params);
-        b.read_var(vid, &args, 0).and_then(|()| assemble_for(&b)).map(|assemble| {
-            Arc::new(AccessPlan { steps: b.steps, assemble, max_depth: b.max_depth })
+        guard_split(&var.read_order, vars, regs, None).and_then(|(selector, splits)| {
+            let b = PlanBuilder::new(vars, regs, structs, &var.params);
+            let assemble: Option<Vec<(PlanSlot, FieldSeg)>> = var
+                .segs
+                .iter()
+                .map(|s| b.slot_for(s.reg, &chunk_args(&s.args, &args)).map(|slot| (slot, s.seg)))
+                .collect();
+            let assemble = assemble?;
+            compile_variants(splits, vars, regs, structs, &var.params, arena, |b, order| {
+                b.read_var_ordered(vid, &args, order)
+            })
+            .map(|(variants, max_depth)| {
+                Arc::new(AccessPlan { variants, selector, assemble, max_depth })
+            })
         })
     } else {
         None
     };
     let write = if var.writable {
-        let mut b = PlanBuilder::new(vars, regs, structs, &var.params);
-        b.write_var(vid, PlanValue::Input, &args, 0).map(|()| {
-            Arc::new(AccessPlan { steps: b.steps, assemble: Vec::new(), max_depth: b.max_depth })
+        guard_split(&var.write_order, vars, regs, Some(vid)).and_then(|(selector, splits)| {
+            compile_variants(splits, vars, regs, structs, &var.params, arena, |b, order| {
+                b.write_var_ordered(vid, PlanValue::Input, &args, order, 0)
+            })
+            .map(|(variants, max_depth)| {
+                Arc::new(AccessPlan { variants, selector, assemble: Vec::new(), max_depth })
+            })
         })
     } else {
         None
@@ -1169,25 +1533,33 @@ fn compile_var_plans(
 
 /// Compiles the read/write plans for one structure (an [`AccessPlan`]
 /// with an empty assemble list — field getters use
-/// [`VarIr::slot_assemble`] instead).
+/// [`VarIr::slot_assemble`] instead). Conditional orders guard-split:
+/// the general path evaluates every condition against the cache before
+/// the first access, which is exactly the state the entry guards see.
 fn compile_struct_plans(
     sid: StructId,
     vars: &[VarIr],
     regs: &[RegIr],
     structs: &[StructIr],
+    arena: &mut Vec<PlanStep>,
 ) -> (Option<Arc<AccessPlan>>, Option<Arc<AccessPlan>>) {
-    let read = {
-        let mut b = PlanBuilder::new(vars, regs, structs, &[]);
-        b.read_struct(sid).map(|()| {
-            Arc::new(AccessPlan { steps: b.steps, assemble: Vec::new(), max_depth: b.max_depth })
+    let st = &structs[sid.0 as usize];
+    let read = guard_split(&st.read_order, vars, regs, None).and_then(|(selector, splits)| {
+        compile_variants(splits, vars, regs, structs, &[], arena, |b, order| {
+            b.read_struct_ordered(order)
         })
-    };
-    let write = {
-        let mut b = PlanBuilder::new(vars, regs, structs, &[]);
-        b.flush_struct(sid, &[], 0).map(|()| {
-            Arc::new(AccessPlan { steps: b.steps, assemble: Vec::new(), max_depth: b.max_depth })
+        .map(|(variants, max_depth)| {
+            Arc::new(AccessPlan { variants, selector, assemble: Vec::new(), max_depth })
         })
-    };
+    });
+    let write = guard_split(&st.write_order, vars, regs, None).and_then(|(selector, splits)| {
+        compile_variants(splits, vars, regs, structs, &[], arena, |b, order| {
+            b.flush_struct_ordered(sid, &[], order, 0)
+        })
+        .map(|(variants, max_depth)| {
+            Arc::new(AccessPlan { variants, selector, assemble: Vec::new(), max_depth })
+        })
+    });
     (read, write)
 }
 
@@ -1232,6 +1604,12 @@ impl DeviceIr {
         &self.structs[id.0 as usize]
     }
 
+    /// The arena slice holding one plan variant's steps.
+    #[inline]
+    pub fn variant_steps(&self, v: &PlanVariant) -> &[PlanStep] {
+        &self.plan_arena[v.start as usize..(v.start + v.len) as usize]
+    }
+
     /// Resolves a register binding's offset for concrete family args.
     pub fn resolve_offset(&self, binding: &PortBinding, args: &[u64]) -> u64 {
         match binding.offset {
@@ -1248,6 +1626,13 @@ mod tests {
     fn ir_for(src: &str) -> DeviceIr {
         let model = devil_sema::check_source(src, &[]).expect("spec must check");
         lower(&model)
+    }
+
+    /// The arena steps of a plan's only, unguarded variant.
+    fn steps<'a>(ir: &'a DeviceIr, plan: &AccessPlan) -> &'a [PlanStep] {
+        assert_eq!(plan.variants.len(), 1, "expected a straight-line plan");
+        assert!(plan.variants[0].guards.is_empty(), "expected an unguarded plan");
+        ir.variant_steps(&plan.variants[0])
     }
 
     const BUSMOUSE: &str = r#"
@@ -1433,8 +1818,9 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
         let config = ir.var(ir.var_id("config").unwrap());
         assert!(config.read_plan.is_none(), "cr is write-only");
         let plan = config.write_plan.as_ref().expect("cr write plan");
-        assert_eq!(plan.steps.len(), 1);
-        let PlanStep::Write(step, compose) = &plan.steps[0] else { panic!("write step") };
+        let wsteps = steps(&ir, plan);
+        assert_eq!(wsteps.len(), 1);
+        let PlanStep::Write(step, compose) = &wsteps[0] else { panic!("write step") };
         assert!(matches!(step.offset, PlanOffset::Const(3)));
         assert_eq!(compose.out_or, 0b1001_0000);
         assert_eq!(compose.out_and, 0b1001_0001);
@@ -1443,9 +1829,10 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
         // `signature` reads a plain register: read plan with one step.
         let sig = ir.var(ir.var_id("signature").unwrap());
         let rp = sig.read_plan.as_ref().expect("sig_reg read plan");
-        assert_eq!(rp.steps.len(), 1);
+        let rsteps = steps(&ir, rp);
+        assert_eq!(rsteps.len(), 1);
         assert!(
-            matches!(&rp.steps[0], PlanStep::Read(a) if matches!(a.offset, PlanOffset::Const(1)))
+            matches!(&rsteps[0], PlanStep::Read(a) if matches!(a.offset, PlanOffset::Const(1)))
         );
         assert_eq!(rp.assemble.len(), 1);
     }
@@ -1457,18 +1844,19 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
         let ir = ir_for(BUSMOUSE);
         let dx = ir.var(ir.var_id("dx").unwrap());
         let rp = dx.read_plan.as_ref().expect("dx read plan folds pre-actions");
+        let rsteps = steps(&ir, rp);
         // write index=1, read x_high, write index=0, read x_low.
-        assert_eq!(rp.steps.len(), 4);
+        assert_eq!(rsteps.len(), 4);
         let idx_reg = ir.reg_id("index_reg").unwrap();
-        let PlanStep::Write(a0, c0) = &rp.steps[0] else { panic!("index write first") };
+        let PlanStep::Write(a0, c0) = &rsteps[0] else { panic!("index write first") };
         assert_eq!(a0.reg, idx_reg);
         // index=1 folded: bits 6..5 get 0b01.
         assert_eq!(c0.const_or, 0b0010_0000);
         assert!(c0.segs.is_empty(), "constant fully folded");
-        assert!(matches!(&rp.steps[1], PlanStep::Read(a) if ir.reg(a.reg).name == "x_high"));
-        let PlanStep::Write(_, c2) = &rp.steps[2] else { panic!() };
+        assert!(matches!(&rsteps[1], PlanStep::Read(a) if ir.reg(a.reg).name == "x_high"));
+        let PlanStep::Write(_, c2) = &rsteps[2] else { panic!() };
         assert_eq!(c2.const_or, 0, "index=0 folds to zero bits");
-        assert!(matches!(&rp.steps[3], PlanStep::Read(a) if ir.reg(a.reg).name == "x_low"));
+        assert!(matches!(&rsteps[3], PlanStep::Read(a) if ir.reg(a.reg).name == "x_low"));
         // dx is read-only (its registers are read-only): no write plan.
         assert!(dx.write_plan.is_none());
     }
@@ -1478,10 +1866,10 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
         let ir = ir_for(BUSMOUSE);
         let st = ir.strct(ir.struct_id("mouse_state").unwrap());
         let plan = st.read_plan.as_ref().expect("mouse_state read plan");
+        let rsteps = steps(&ir, plan);
         // 4 index writes + 4 data reads, interleaved.
-        assert_eq!(plan.steps.len(), 8);
-        let kinds: Vec<bool> =
-            plan.steps.iter().map(|s| matches!(s, PlanStep::Write(..))).collect();
+        assert_eq!(rsteps.len(), 8);
+        let kinds: Vec<bool> = rsteps.iter().map(|s| matches!(s, PlanStep::Write(..))).collect();
         assert_eq!(kinds, [true, false, true, false, true, false, true, false]);
         // Registers are read-only: no write plan for the structure.
         assert!(st.write_plan.is_none());
@@ -1502,7 +1890,7 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
         );
         let page = ir.var(ir.var_id("page").unwrap());
         let plan = page.write_plan.as_ref().expect("page write plan");
-        let PlanStep::Write(_, c) = &plan.steps[0] else { panic!() };
+        let PlanStep::Write(_, c) = &steps(&ir, plan)[0] else { panic!() };
         // st's bits are cleared from the cached value and replaced by
         // the neutral pattern '11'.
         assert_eq!(c.keep_and & 0b11, 0, "st bits cleared");
@@ -1510,7 +1898,7 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
         // st's own plan keeps page's cached bits.
         let st = ir.var(ir.var_id("st").unwrap());
         let sp = st.write_plan.as_ref().expect("st write plan");
-        let PlanStep::Write(_, sc) = &sp.steps[0] else { panic!() };
+        let PlanStep::Write(_, sc) = &steps(&ir, sp)[0] else { panic!() };
         assert_eq!(sc.keep_and & 0b1111_1100, 0b1111_1100);
         assert_eq!(sc.const_or, 0);
     }
@@ -1563,16 +1951,18 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
         );
         let v = ir.var(ir.var_id("v").unwrap());
         let rp = v.read_plan.as_ref().expect("family read plan");
-        assert_eq!(rp.steps.len(), 1);
-        let PlanStep::Read(a) = &rp.steps[0] else { panic!() };
+        let rsteps = steps(&ir, rp);
+        assert_eq!(rsteps.len(), 1);
+        let PlanStep::Read(a) = &rsteps[0] else { panic!() };
         assert!(matches!(a.offset, PlanOffset::Arg(0)));
         let PlanSlot::Indexed { dims, .. } = &a.slot else { panic!("indexed slot") };
         assert_eq!(dims.len(), 1);
         assert_eq!(rp.assemble.len(), 1);
         let wp = v.write_plan.as_ref().expect("family write plan");
-        assert!(
-            matches!(&wp.steps[0], PlanStep::Write(a, _) if matches!(a.offset, PlanOffset::Arg(0)))
-        );
+        assert!(matches!(
+            &steps(&ir, wp)[0],
+            PlanStep::Write(a, _) if matches!(a.offset, PlanOffset::Arg(0))
+        ));
     }
 
     #[test]
@@ -1591,18 +1981,21 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
         );
         let id = ir.var(ir.var_id("ID").unwrap());
         let rp = id.read_plan.as_ref().expect("ID read plan");
-        assert_eq!(rp.steps.len(), 3);
-        let PlanStep::Write(a, c) = &rp.steps[0] else { panic!("control write first") };
+        let rsteps = steps(&ir, rp);
+        assert_eq!(rsteps.len(), 3);
+        let PlanStep::Write(a, c) = &rsteps[0] else { panic!("control write first") };
         assert_eq!(ir.reg(a.reg).name, "control");
         assert_eq!(c.segs.len(), 1);
         assert_eq!(c.segs[0].value, PlanValue::Arg(0), "IA gets the family argument");
-        assert!(matches!(&rp.steps[1], PlanStep::SetCell { cell: 0, value: PlanValue::Const(0) }));
-        assert!(matches!(&rp.steps[2], PlanStep::Read(a) if ir.reg(a.reg).name == "I"));
+        assert!(matches!(&rsteps[1], PlanStep::SetCell { cell: 0, value: PlanValue::Const(0) }));
+        assert!(matches!(&rsteps[2], PlanStep::Read(a) if ir.reg(a.reg).name == "I"));
     }
 
     #[test]
-    fn no_plans_for_conditions_or_dynamic_values() {
-        // Conditional serialization depends on run-time cache state.
+    fn conditional_struct_writes_guard_split_into_variants() {
+        // The 8259A shape: `if (sngl == CASCADED) icw3` splits the
+        // write into one straight-line variant per tested cache value,
+        // selected by a slot guard on icw1's bit 0.
         let ir = ir_for(
             r#"device d (base : bit[8] port @ {0..1}) {
                  register icw1 = write base @ 0 : bit[8];
@@ -1615,8 +2008,160 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
                }"#,
         );
         let st = ir.strct(ir.struct_id("init").unwrap());
+        // Registers are write-only, so the read direction has no plan
+        // in any variant.
         assert!(st.read_plan.is_none());
-        assert!(st.write_plan.is_none());
+        let wp = st.write_plan.as_ref().expect("conditional write must guard-split");
+        assert_eq!(wp.variants.len(), 2, "one variant per sngl cache value");
+        let icw1_slot = ir.reg(ir.reg_id("icw1").unwrap()).slot.unwrap();
+        // sngl == 0 (CASCADED): guard expects bit 0 clear, icw3 written.
+        let cascaded = &wp.variants[0];
+        assert_eq!(cascaded.guards, vec![PlanGuard { slot: icw1_slot, mask: 1, expected: 0 }]);
+        assert_eq!(ir.variant_steps(cascaded).len(), 2, "icw1 + icw3");
+        // sngl == 1 (SINGLE): icw3 skipped.
+        let single = &wp.variants[1];
+        assert_eq!(single.guards, vec![PlanGuard { slot: icw1_slot, mask: 1, expected: 1 }]);
+        assert_eq!(ir.variant_steps(single).len(), 1, "icw1 only");
+        assert!(matches!(
+            &ir.variant_steps(single)[0],
+            PlanStep::Write(a, _) if a.reg == ir.reg_id("icw1").unwrap()
+        ));
+    }
+
+    #[test]
+    fn two_conditionals_enumerate_the_cross_product() {
+        // The full 8259A shape: sngl and ic4 (1 bit each) give 2×2
+        // variants with 5/4/4/3 steps.
+        let ir = ir_for(include_str!("../../../specs/pic8259.dil"));
+        let st = ir.strct(ir.struct_id("init").unwrap());
+        let wp = st.write_plan.as_ref().expect("pic8259 init must guard-split");
+        assert_eq!(wp.variants.len(), 4);
+        let lens: Vec<u32> = wp.variants.iter().map(|v| v.len).collect();
+        let mut sorted = lens.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, [3, 4, 4, 5], "icw3/icw4 skipped per combination: {lens:?}");
+        // Both guards test icw1's flat slot.
+        let icw1_slot = ir.reg(ir.reg_id("icw1").unwrap()).slot.unwrap();
+        for v in &wp.variants {
+            assert_eq!(v.guards.len(), 2);
+            assert!(v.guards.iter().all(|g| g.slot == icw1_slot));
+        }
+        // The fully-populated variant (CASCADED + IC4) writes all five
+        // registers in spec order.
+        let full = wp.variants.iter().find(|v| v.len == 5).unwrap();
+        let names: Vec<&str> = ir
+            .variant_steps(full)
+            .iter()
+            .map(|s| match s {
+                PlanStep::Write(a, _) => ir.reg(a.reg).name.as_str(),
+                _ => panic!("flush is all writes"),
+            })
+            .collect();
+        assert_eq!(names, ["icw1", "icw2", "icw3", "icw4", "ocw1"]);
+        // Indexed selection: every cache state picks the variant whose
+        // guards hold — no scan over the variant table.
+        assert_eq!(wp.selector.len(), 2);
+        let mut slots = vec![0u64; ir.cache_slots];
+        let mut valid = vec![false; ir.cache_slots];
+        for raw in 0u64..4 {
+            slots[icw1_slot] = raw;
+            valid[icw1_slot] = true;
+            let v = wp.select_variant(&slots, &valid).expect("selection is total");
+            assert!(v.guards.iter().all(|g| g.holds(&slots, &valid)), "raw {raw:#b}");
+        }
+        // Uncached slots read as 0, exactly the general path's default:
+        // sngl=CASCADED (icw3 written), ic4=NO (icw4 skipped).
+        valid[icw1_slot] = false;
+        assert_eq!(wp.select_variant(&slots, &valid).unwrap().len, 4);
+    }
+
+    #[test]
+    fn nested_conditional_orders_keep_the_general_path() {
+        // `data`'s pre-action writes the struct, whose order is
+        // conditional: the condition would be evaluated mid-access, so
+        // the reading variable must not plan-compile.
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..2}) {
+                 register a = write base @ 0 : bit[8];
+                 register c = write base @ 1 : bit[8];
+                 structure s = {
+                   variable sel = a[0] : bool;
+                   variable rest = a[7..1] : int(7);
+                   variable v = c : int(8);
+                 } serialized as { a; if (sel == true) c; };
+                 register data = read base @ 2, pre {s = {sel => true; rest => 1; v => 2}} : bit[8];
+                 variable payload = data, volatile : int(8);
+               }"#,
+        );
+        let payload = ir.var(ir.var_id("payload").unwrap());
+        assert!(payload.read_plan.is_none(), "nested conditional must not plan-compile");
+        // The struct's own top-level write still guard-splits.
+        let st = ir.strct(ir.struct_id("s").unwrap());
+        assert!(st.write_plan.is_some());
+    }
+
+    #[test]
+    fn guard_domains_past_the_cap_keep_the_general_path() {
+        // The tested variable is 13 bits wide: 2^13 variants exceed the
+        // 4096 guard-domain cap, so the order keeps the general path.
+        let ir = ir_for(
+            r#"device d (base : bit[16] port @ {0..1}) {
+                 register a = write base @ 0 : bit[16];
+                 register c = write base @ 1 : bit[16];
+                 structure s = {
+                   variable wide = a[12..0] : int(13);
+                   variable rest = a[15..13] : int(3);
+                   variable v = c : int(16);
+                 } serialized as { a; if (wide == 5) c; };
+               }"#,
+        );
+        let st = ir.strct(ir.struct_id("s").unwrap());
+        assert!(st.write_plan.is_none(), "13-bit guard domain must not split");
+        // A 12-bit tested field (4096 == the cap) still splits.
+        let ir2 = ir_for(
+            r#"device d (base : bit[16] port @ {0..1}) {
+                 register a = write base @ 0 : bit[16];
+                 register c = write base @ 1 : bit[16];
+                 structure s = {
+                   variable wide = a[11..0] : int(12);
+                   variable rest = a[15..12] : int(4);
+                   variable v = c : int(16);
+                 } serialized as { a; if (wide == 5) c; };
+               }"#,
+        );
+        let st2 = ir2.strct(ir2.struct_id("s").unwrap());
+        let wp = st2.write_plan.as_ref().expect("12-bit domain fits the cap");
+        assert_eq!(wp.variants.len(), 4096);
+    }
+
+    #[test]
+    fn variants_share_one_contiguous_arena() {
+        let ir = ir_for(BUSMOUSE);
+        assert!(!ir.plan_arena.is_empty());
+        // Every plan range lies inside the arena, and variants of one
+        // plan are laid out back to back.
+        let mut plans: Vec<&AccessPlan> = Vec::new();
+        for v in &ir.vars {
+            plans.extend(v.read_plan.as_deref());
+            plans.extend(v.write_plan.as_deref());
+        }
+        for s in &ir.structs {
+            plans.extend(s.read_plan.as_deref());
+            plans.extend(s.write_plan.as_deref());
+        }
+        assert!(!plans.is_empty());
+        for plan in plans {
+            for pair in plan.variants.windows(2) {
+                assert_eq!(pair[0].start + pair[0].len, pair[1].start, "variants contiguous");
+            }
+            for v in &plan.variants {
+                assert!((v.start + v.len) as usize <= ir.plan_arena.len());
+            }
+        }
+    }
+
+    #[test]
+    fn no_plans_for_memory_tested_conditions_or_dynamic_values() {
         // Memory variables need no plan.
         let ir2 = ir_for(
             r#"device d (base : bit[8] port @ {0..0}) {
@@ -1630,8 +2175,9 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
         // IA's set-action on the memory cell folds into its plans.
         let ia = ir2.var(ir2.var_id("IA").unwrap());
         let rp = ia.read_plan.as_ref().expect("IA read plan");
-        assert_eq!(rp.steps.len(), 2);
-        assert!(matches!(&rp.steps[1], PlanStep::SetCell { cell: 0, value: PlanValue::Const(0) }));
+        let rsteps = steps(&ir2, rp);
+        assert_eq!(rsteps.len(), 2);
+        assert!(matches!(&rsteps[1], PlanStep::SetCell { cell: 0, value: PlanValue::Const(0) }));
     }
 
     #[test]
@@ -1649,9 +2195,10 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
         );
         let payload = ir.var(ir.var_id("payload").unwrap());
         let rp = payload.read_plan.as_ref().expect("payload read plan");
+        let rsteps = steps(&ir, rp);
         // idx flush + data read.
-        assert_eq!(rp.steps.len(), 2);
-        let PlanStep::Write(a, c) = &rp.steps[0] else { panic!() };
+        assert_eq!(rsteps.len(), 2);
+        let PlanStep::Write(a, c) = &rsteps[0] else { panic!() };
         assert_eq!(ir.reg(a.reg).name, "idx");
         // XA=5 (bits 4..2) and XRAE=1 (bit 0) folded to constants.
         assert_eq!(c.const_or, 0b0001_0101);

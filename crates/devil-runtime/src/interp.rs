@@ -14,6 +14,9 @@
 //! * structures read each backing register once and serve field getters
 //!   from the cache (the `bm_get_mouse_state()` / `bm_get_dy()` split of
 //!   the paper's Figure 3),
+//! * conditional serializations (`if (sngl == CASCADED) icw3`) execute
+//!   guard-split plan variants: a [`devil_ir::PlanGuard`] list selects
+//!   the straight-line version from flat cache slots,
 //! * optional debug checks validate written values and read patterns.
 
 use crate::access::DeviceAccess;
@@ -24,10 +27,29 @@ use devil_sema::model::{
     TypeSem, VarId,
 };
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Maximum pre/post-action recursion depth before the runtime assumes a
 /// cyclic specification and errors out.
 const MAX_DEPTH: u32 = 32;
+
+/// Counters describing how accesses were dispatched, for benches and
+/// the differential fuzzer's plan-coverage assertions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Accesses executed by an unguarded straight-line plan.
+    pub straight: u64,
+    /// Accesses executed by a guard-selected plan variant (conditional
+    /// serialization on the fast path).
+    pub guarded: u64,
+    /// Accesses handled by the general interpreter: no compiled plan,
+    /// plans disabled, debug checks on, depth-gated fallbacks, or
+    /// memory-cell variables (which need no plan).
+    pub general: u64,
+}
+
+/// A register's pre/post/set action lists, shared by `Arc` handle.
+type ActionLists = (Arc<[Action]>, Arc<[Action]>, Arc<[Action]>);
 
 /// How a register write composes values for variables other than the one
 /// being written.
@@ -66,6 +88,13 @@ pub struct DeviceInstance {
     /// Whether precompiled access plans may be used (disabled to
     /// measure the general interpreter path).
     fast_plans: bool,
+    /// Dispatch counters (see [`PlanStats`]).
+    stats: PlanStats,
+    /// Reusable `RegId` buffers for the general path's
+    /// serialization-order flattening. A pool rather than a single
+    /// buffer: actions recurse into nested accesses, each popping its
+    /// own buffer.
+    order_pool: Vec<Vec<RegId>>,
 }
 
 impl DeviceInstance {
@@ -82,6 +111,8 @@ impl DeviceInstance {
             mem,
             checks: false,
             fast_plans: true,
+            stats: PlanStats::default(),
+            order_pool: Vec::new(),
         }
     }
 
@@ -102,6 +133,30 @@ impl DeviceInstance {
     /// The underlying IR.
     pub fn ir(&self) -> &DeviceIr {
         &self.ir
+    }
+
+    /// Dispatch counters accumulated since construction (or the last
+    /// [`DeviceInstance::reset_plan_stats`]).
+    pub fn plan_stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// Clears the dispatch counters.
+    pub fn reset_plan_stats(&mut self) {
+        self.stats = PlanStats::default();
+    }
+
+    /// Pops a reusable order buffer (empty) from the pool.
+    fn pop_order_buf(&mut self) -> Vec<RegId> {
+        self.order_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns an order buffer to the pool for reuse.
+    fn push_order_buf(&mut self, mut buf: Vec<RegId>) {
+        buf.clear();
+        if self.order_pool.len() < 8 {
+            self.order_pool.push(buf);
+        }
     }
 
     /// Resolves a variable name to its id.
@@ -196,32 +251,49 @@ impl DeviceInstance {
         args: &[u64],
     ) -> RtResult<u64> {
         // Fast path: precompiled plan, flat slots, zero hashing and no
-        // name or action resolution. Family arguments are validated
+        // name or action resolution. Guards select the variant for
+        // conditional serializations. Family arguments are validated
         // against the parameter domains first (out-of-domain arguments
         // fall through so the general path reports the exact error).
         // Debug checks take the general path so every validation runs.
         if self.fast_plans && !self.checks {
-            let DeviceInstance { ir, slots, slot_valid, mem, .. } = &mut *self;
+            let DeviceInstance { ir, slots, slot_valid, mem, stats, .. } = &mut *self;
             let var = ir.var(vid);
             if let (Some(plan), None) = (&var.read_plan, &var.mem_cell) {
                 if var.params.len() == args.len()
                     && var.params.iter().zip(args).all(|(p, &a)| p.contains(a))
                 {
-                    let serve_cached = !var.behavior.volatile && !var.behavior.read_trigger;
-                    if !(serve_cached
-                        && plan.assemble.iter().all(|(s, _)| slot_valid[s.resolve(args)]))
-                    {
-                        exec_plan_steps(dev, slots, slot_valid, mem, &plan.steps, args, 0);
+                    if let Some(variant) = plan.select_variant(slots, slot_valid) {
+                        let serve_cached = !var.behavior.volatile && !var.behavior.read_trigger;
+                        if !(serve_cached
+                            && plan.assemble.iter().all(|(s, _)| slot_valid[s.resolve(args)]))
+                        {
+                            exec_plan_steps(
+                                dev,
+                                slots,
+                                slot_valid,
+                                mem,
+                                ir.variant_steps(variant),
+                                args,
+                                0,
+                            );
+                        }
+                        if variant.guards.is_empty() {
+                            stats.straight += 1;
+                        } else {
+                            stats.guarded += 1;
+                        }
+                        let mut v = 0u64;
+                        for (slot, seg) in &plan.assemble {
+                            v |= seg.extract(slots[slot.resolve(args)]);
+                        }
+                        return Ok(v);
                     }
-                    let mut v = 0u64;
-                    for (slot, seg) in &plan.assemble {
-                        v |= seg.extract(slots[slot.resolve(args)]);
-                    }
-                    return Ok(v);
                 }
             }
         }
         self.validate_args(vid, args)?;
+        self.stats.general += 1;
         let var = self.ir.var(vid).clone();
         if let Some(cell) = var.mem_cell {
             return Ok(self.mem[cell]);
@@ -236,11 +308,19 @@ impl DeviceInstance {
                 return self.checked_read(&var.name, &var.ty, v);
             }
         }
-        let regs = self.plan_regs(&var.read_order)?;
-        for rid in regs {
-            let reg_args = self.args_for_reg(vid, rid, args);
-            self.read_register(dev, rid, &reg_args, 0)?;
+        let mut order = self.pop_order_buf();
+        let mut res = self.plan_regs_into(&var.read_order, &mut order);
+        if res.is_ok() {
+            for &rid in &order {
+                let reg_args = self.args_for_reg(vid, rid, args);
+                if let Err(e) = self.read_register(dev, rid, &reg_args, 0) {
+                    res = Err(e);
+                    break;
+                }
+            }
         }
+        self.push_order_buf(order);
+        res?;
         let v = self.assemble_cached(vid, args);
         self.checked_read(&var.name, &var.ty, v)
     }
@@ -274,13 +354,19 @@ impl DeviceInstance {
         if !self.fast_plans || self.checks {
             return false;
         }
-        let DeviceInstance { ir, slots, slot_valid, mem, .. } = &mut *self;
+        let DeviceInstance { ir, slots, slot_valid, mem, stats, .. } = &mut *self;
         let var = ir.var(vid);
         let Some(plan) = &var.write_plan else { return false };
         if var.mem_cell.is_some() || depth.saturating_add(plan.max_depth) > MAX_DEPTH {
             return false;
         }
-        exec_plan_steps(dev, slots, slot_valid, mem, &plan.steps, args, value);
+        let Some(variant) = plan.select_variant(slots, slot_valid) else { return false };
+        exec_plan_steps(dev, slots, slot_valid, mem, ir.variant_steps(variant), args, value);
+        if variant.guards.is_empty() {
+            stats.straight += 1;
+        } else {
+            stats.guarded += 1;
+        }
         true
     }
 
@@ -300,6 +386,7 @@ impl DeviceInstance {
         if self.try_write_plan(dev, vid, args, value, depth) {
             return Ok(());
         }
+        self.stats.general += 1;
         let var = self.ir.var(vid).clone();
         if depth > MAX_DEPTH {
             return Err(RtError::RecursionLimit(var.name.clone()));
@@ -309,8 +396,7 @@ impl DeviceInstance {
         }
         if let Some(cell) = var.mem_cell {
             self.mem[cell] = value;
-            let actions = var.set.clone();
-            return self.run_actions(dev, &actions, args, depth + 1);
+            return self.run_actions(dev, &var.set, args, depth + 1);
         }
         if !var.writable {
             return Err(RtError::NotWritable(var.name.clone()));
@@ -318,14 +404,21 @@ impl DeviceInstance {
         // Update the cache with the new bits first so composition and
         // condition evaluation see the written value.
         self.store_var_bits(vid, args, value);
-        let regs = self.plan_regs(&var.write_order)?;
-        for rid in regs {
-            let reg_args = self.args_for_reg(vid, rid, args);
-            let raw = self.compose(rid, &reg_args, WriteMode::One(vid));
-            self.write_register(dev, rid, &reg_args, raw, depth + 1)?;
+        let mut order = self.pop_order_buf();
+        let mut res = self.plan_regs_into(&var.write_order, &mut order);
+        if res.is_ok() {
+            for &rid in &order {
+                let reg_args = self.args_for_reg(vid, rid, args);
+                let raw = self.compose(rid, &reg_args, WriteMode::One(vid));
+                if let Err(e) = self.write_register(dev, rid, &reg_args, raw, depth + 1) {
+                    res = Err(e);
+                    break;
+                }
+            }
         }
-        let actions = var.set.clone();
-        self.run_actions(dev, &actions, args, depth + 1)
+        self.push_order_buf(order);
+        res?;
+        self.run_actions(dev, &var.set, args, depth + 1)
     }
 
     // ---- structures ----
@@ -339,22 +432,36 @@ impl DeviceInstance {
 
     /// Reads a structure by id — the Figure 3 hot loop. A precompiled
     /// struct plan (index writes and data reads flattened to straight
-    /// line) executes when one exists; conditional serializations take
-    /// the general path.
+    /// line) executes when one exists; conditional serializations run
+    /// the guard-selected variant.
     pub fn read_struct_id(&mut self, dev: &mut dyn DeviceAccess, sid: StructId) -> RtResult<()> {
         if self.fast_plans && !self.checks {
-            let DeviceInstance { ir, slots, slot_valid, mem, .. } = &mut *self;
+            let DeviceInstance { ir, slots, slot_valid, mem, stats, .. } = &mut *self;
             if let Some(plan) = &ir.strct(sid).read_plan {
-                exec_plan_steps(dev, slots, slot_valid, mem, &plan.steps, &[], 0);
-                return Ok(());
+                if let Some(variant) = plan.select_variant(slots, slot_valid) {
+                    exec_plan_steps(dev, slots, slot_valid, mem, ir.variant_steps(variant), &[], 0);
+                    if variant.guards.is_empty() {
+                        stats.straight += 1;
+                    } else {
+                        stats.guarded += 1;
+                    }
+                    return Ok(());
+                }
             }
         }
-        let order = self.ir.strct(sid).read_order.clone();
-        let regs = self.plan_regs(&order)?;
-        for rid in regs {
-            self.read_register(dev, rid, &[], 0)?;
+        self.stats.general += 1;
+        let mut order = self.pop_order_buf();
+        let mut res = self.plan_regs_into(&self.ir.strct(sid).read_order, &mut order);
+        if res.is_ok() {
+            for &rid in &order {
+                if let Err(e) = self.read_register(dev, rid, &[], 0) {
+                    res = Err(e);
+                    break;
+                }
+            }
         }
-        Ok(())
+        self.push_order_buf(order);
+        res
     }
 
     /// Gets a structure field from the cache (no device access).
@@ -438,26 +545,53 @@ impl DeviceInstance {
         depth: u32,
     ) -> RtResult<()> {
         // Fast path: the compiled flush (cache-composed masked writes
-        // plus folded field set-actions) in a straight line, depth
-        // budget permitting (see `try_write_plan`).
+        // plus folded field set-actions) in a straight line, with the
+        // entry guards picking the conditional-serialization variant —
+        // the cache state they test is exactly what the general path's
+        // up-front condition evaluation would see. Depth budget
+        // permitting (see `try_write_plan`).
         if self.fast_plans && !self.checks {
-            let DeviceInstance { ir, slots, slot_valid, mem, .. } = &mut *self;
+            let DeviceInstance { ir, slots, slot_valid, mem, stats, .. } = &mut *self;
             if let Some(plan) = &ir.strct(sid).write_plan {
                 if depth.saturating_add(plan.max_depth) <= MAX_DEPTH {
-                    exec_plan_steps(dev, slots, slot_valid, mem, &plan.steps, &[], 0);
-                    return Ok(());
+                    if let Some(variant) = plan.select_variant(slots, slot_valid) {
+                        exec_plan_steps(
+                            dev,
+                            slots,
+                            slot_valid,
+                            mem,
+                            ir.variant_steps(variant),
+                            &[],
+                            0,
+                        );
+                        if variant.guards.is_empty() {
+                            stats.straight += 1;
+                        } else {
+                            stats.guarded += 1;
+                        }
+                        return Ok(());
+                    }
                 }
             }
         }
+        self.stats.general += 1;
         let st = self.ir.strct(sid).clone();
         if depth > MAX_DEPTH {
             return Err(RtError::RecursionLimit(st.name.clone()));
         }
-        let regs = self.plan_regs(&st.write_order)?;
-        for rid in regs {
-            let raw = self.compose(rid, &[], WriteMode::All);
-            self.write_register(dev, rid, &[], raw, depth + 1)?;
+        let mut order = self.pop_order_buf();
+        let mut res = self.plan_regs_into(&st.write_order, &mut order);
+        if res.is_ok() {
+            for &rid in &order {
+                let raw = self.compose(rid, &[], WriteMode::All);
+                if let Err(e) = self.write_register(dev, rid, &[], raw, depth + 1) {
+                    res = Err(e);
+                    break;
+                }
+            }
         }
+        self.push_order_buf(order);
+        res?;
         // Field-level `set` actions run after the flush.
         for &fid in &st.fields {
             let actions = self.ir.var(fid).set.clone();
@@ -602,14 +736,10 @@ impl DeviceInstance {
     }
 
     /// Flattens a serialization plan to register ids, evaluating
-    /// conditions against cached variable values.
-    fn plan_regs(&mut self, steps: &[SerStep]) -> RtResult<Vec<RegId>> {
-        let mut out = Vec::new();
-        self.plan_regs_into(steps, &mut out)?;
-        Ok(out)
-    }
-
-    fn plan_regs_into(&mut self, steps: &[SerStep], out: &mut Vec<RegId>) -> RtResult<()> {
+    /// conditions against cached variable values. Callers supply the
+    /// output buffer (pooled via [`DeviceInstance::pop_order_buf`] so
+    /// the steady-state general path does not allocate).
+    fn plan_regs_into(&self, steps: &[SerStep], out: &mut Vec<RegId>) -> RtResult<()> {
         for step in steps {
             match step {
                 SerStep::Reg(r) => out.push(*r),
@@ -625,7 +755,7 @@ impl DeviceInstance {
         Ok(())
     }
 
-    fn eval_cond(&mut self, cond: &CondSem) -> bool {
+    fn eval_cond(&self, cond: &CondSem) -> bool {
         match cond {
             CondSem::Cmp { var, eq, value } => {
                 let v = self.assemble_cached(*var, &[]);
@@ -639,7 +769,7 @@ impl DeviceInstance {
 
     /// Assembles a variable's value from the cache (0 for never-accessed
     /// registers) or its memory cell.
-    fn assemble_cached(&mut self, vid: VarId, args: &[u64]) -> u64 {
+    fn assemble_cached(&self, vid: VarId, args: &[u64]) -> u64 {
         let var = self.ir.var(vid);
         if let Some(cell) = var.mem_cell {
             return self.mem[cell];
@@ -661,7 +791,7 @@ impl DeviceInstance {
     }
 
     /// Like [`assemble_cached`] but only when every register is cached.
-    fn try_assemble_cached(&mut self, vid: VarId, args: &[u64]) -> Option<u64> {
+    fn try_assemble_cached(&self, vid: VarId, args: &[u64]) -> Option<u64> {
         let var = self.ir.var(vid);
         if let Some(cell) = var.mem_cell {
             return Some(self.mem[cell]);
@@ -735,9 +865,10 @@ impl DeviceInstance {
         raw
     }
 
-    /// The pre/post/set action lists of a register, cloned only when
-    /// non-empty (cloning an empty `Vec` never allocates).
-    fn reg_actions(&self, rid: RegId) -> (Vec<Action>, Vec<Action>, Vec<Action>) {
+    /// The pre/post/set action lists of a register. `Arc` handles: a
+    /// register access takes three reference bumps, never an
+    /// allocation.
+    fn reg_actions(&self, rid: RegId) -> ActionLists {
         let reg = self.ir.reg(rid);
         (reg.pre.clone(), reg.post.clone(), reg.set.clone())
     }

@@ -157,6 +157,14 @@ pub struct DevilIde {
     drq: devil_sema::model::VarId,
     err: devil_sema::model::VarId,
     bsy: devil_sema::model::VarId,
+    /// Resolved-once ids of the piix4ide busmaster variables: the DMA
+    /// setup/poll/teardown path runs on plans with no name lookups.
+    prd_addr: devil_sema::model::VarId,
+    bm_dir: devil_sema::model::VarId,
+    bm_start: devil_sema::model::VarId,
+    bm_intr: devil_sema::model::VarId,
+    /// `bm_dir`'s TO_MEMORY symbol value, resolved once.
+    bm_to_memory: u64,
 }
 
 impl DevilIde {
@@ -168,15 +176,26 @@ impl DevilIde {
         let drq = ide.var_id("drq").expect("spec exports drq");
         let err = ide.var_id("err").expect("spec exports err");
         let bsy = ide.var_id("bsy").expect("spec exports bsy");
+        let bm = crate::specs::instance(crate::specs::PIIX4);
+        let prd_addr = bm.var_id("prd_addr").expect("spec exports prd_addr");
+        let bm_dir = bm.var_id("bm_dir").expect("spec exports bm_dir");
+        let bm_start = bm.var_id("bm_start").expect("spec exports bm_start");
+        let bm_intr = bm.var_id("bm_intr").expect("spec exports bm_intr");
+        let bm_to_memory = bm.sym_value("bm_dir", "TO_MEMORY").expect("spec exports TO_MEMORY");
         DevilIde {
             base,
             ide,
-            bm: crate::specs::instance(crate::specs::PIIX4),
+            bm,
             data16,
             data32,
             drq,
             err,
             bsy,
+            prd_addr,
+            bm_dir,
+            bm_start,
+            bm_intr,
+            bm_to_memory,
         }
     }
 
@@ -184,6 +203,12 @@ impl DevilIde {
     pub fn set_debug_checks(&mut self, on: bool) {
         self.ide.set_debug_checks(on);
         self.bm.set_debug_checks(on);
+    }
+
+    /// Plan-dispatch counters of the piix4ide busmaster interface (the
+    /// UDMA setup/poll/teardown must run on precompiled plans).
+    pub fn bm_plan_stats(&self) -> devil_runtime::PlanStats {
+        self.bm.plan_stats()
     }
 
     fn ide_ports<'b>(&self, bus: &'b mut Bus) -> PortMap<'b> {
@@ -299,14 +324,14 @@ impl DevilIde {
         self.issue_read(bus, lba, count, "READ_DMA");
         {
             let mut map = self.bm_ports(bus);
-            self.bm.write(&mut map, "prd_addr", prd as u64).unwrap();
-            self.bm.write_sym(&mut map, "bm_dir", "TO_MEMORY").unwrap();
-            self.bm.write(&mut map, "bm_start", 1).unwrap();
+            self.bm.write_id(&mut map, self.prd_addr, &[], prd as u64).unwrap();
+            self.bm.write_id(&mut map, self.bm_dir, &[], self.bm_to_memory).unwrap();
+            self.bm.write_id(&mut map, self.bm_start, &[], 1).unwrap();
         }
         loop {
             let done = {
                 let mut map = self.bm_ports(bus);
-                self.bm.read(&mut map, "bm_intr").unwrap() == 1
+                self.bm.read_id(&mut map, self.bm_intr, &[]).unwrap() == 1
             };
             if done {
                 break;
@@ -315,11 +340,11 @@ impl DevilIde {
         }
         {
             let mut map = self.ide_ports(bus);
-            self.ide.read(&mut map, "bsy").unwrap(); // ack device irq
+            self.ide.read_id(&mut map, self.bsy, &[]).unwrap(); // ack device irq
         }
         let mut map = self.bm_ports(bus);
-        self.bm.write(&mut map, "bm_intr", 1).unwrap(); // W1C
-        self.bm.write(&mut map, "bm_start", 0).unwrap();
+        self.bm.write_id(&mut map, self.bm_intr, &[], 1).unwrap(); // W1C
+        self.bm.write_id(&mut map, self.bm_start, &[], 0).unwrap();
         let mut out = vec![0u8; count as usize * SECTOR_SIZE];
         mem.read(prd as usize, &mut out);
         out
@@ -428,6 +453,16 @@ mod tests {
         // Devil issues a handful more I/O ops but DMA time dominates.
         assert!(bus_d.ledger().io_ops() > bus_h.ledger().io_ops());
         assert_eq!(bus_d.ledger().dma_words, bus_h.ledger().dma_words);
+    }
+
+    #[test]
+    fn dma_busmaster_path_runs_on_plans() {
+        let (mut bus, mem) = rig(16);
+        let mut devil = DevilIde::new(BASE);
+        devil.read_dma(&mut bus, &mem, 0, 4, 0x8000);
+        let stats = devil.bm_plan_stats();
+        assert!(stats.straight > 0, "busmaster accesses must use plans: {stats:?}");
+        assert_eq!(stats.general, 0, "no busmaster access may fall back: {stats:?}");
     }
 
     #[test]

@@ -12,10 +12,12 @@
 pub mod busmouse;
 pub mod ide;
 pub mod ne2000;
+pub mod pic8259;
 pub mod pm2;
 pub mod specs;
 
 pub use busmouse::{DevilBusmouse, HandBusmouse, MouseState};
 pub use ide::{DevilIde, HandIde, PioConfig, PioMove};
 pub use ne2000::{DevilNe2000, HandNe2000};
+pub use pic8259::{DevilPic8259, HandPic8259, PicConfig};
 pub use pm2::{Depth, DevilPm2, HandPm2};
