@@ -3,9 +3,11 @@
 //! plus helpers shared by the `devilc` command-line tool.
 
 pub mod c;
+pub mod plan;
 pub mod rust;
 
 pub use c::emit_c;
+pub use plan::{plan_emittable, StubApi};
 pub use rust::emit_rust;
 
 /// Compiles a specification and emits C stubs with `prefix`.

@@ -1,0 +1,215 @@
+//! The emitters' view of the precompiled plans: which accesses have a
+//! stub at all, and whether a plan can be rendered as straight-line
+//! stub code.
+//!
+//! Both back ends lower stub bodies from [`devil_ir::PlanStep`] arena
+//! ranges — the same lowering the fast-path interpreter executes — so
+//! generated code and interpreter cannot diverge. An access only gets a
+//! stub when its plan is *emittable*: every step touches a concrete
+//! (non-family) register through a fixed slot and constant offset, every
+//! guard tests a slot owned by a concrete register, and the guard-split
+//! variant count stays within [`VARIANT_EMIT_CAP`]. Everything else —
+//! family registers, hashed caches, the documented guard-split fallback
+//! causes — keeps the interpreter API, marked by a comment in the
+//! output.
+
+use devil_ir::{AccessPlan, DeviceIr, PlanOffset, PlanSlot, PlanStep, PlanValue};
+use devil_sema::model::{StructId, VarId};
+
+/// Cap on emitted guard-split variants: each variant duplicates its
+/// straight-line steps in the stub body, so very wide guard domains
+/// (the lowerer allows up to 4096 variants) keep the interpreter API
+/// instead of exploding the generated text.
+pub const VARIANT_EMIT_CAP: usize = 64;
+
+/// Whether a compiled plan can be lowered to stub text: all steps on
+/// concrete registers (fixed slots, constant offsets, no family
+/// arguments), all guards on slots a concrete register owns, and a
+/// bounded variant count.
+pub fn plan_emittable(ir: &DeviceIr, plan: &AccessPlan) -> bool {
+    if plan.variants.is_empty() || plan.variants.len() > VARIANT_EMIT_CAP {
+        return false;
+    }
+    let fixed_owned = |slot: &PlanSlot| match slot {
+        PlanSlot::Fixed(s) => ir.slot_owner(*s).is_some(),
+        PlanSlot::Indexed { .. } => false,
+    };
+    plan.variants.iter().all(|v| {
+        v.guards.iter().all(|g| ir.slot_owner(g.slot).is_some())
+            && ir.variant_steps(v).iter().all(|step| step_emittable(ir, step))
+    }) && plan.assemble.iter().all(|(slot, _)| fixed_owned(slot))
+}
+
+fn step_emittable(ir: &DeviceIr, step: &PlanStep) -> bool {
+    let value_ok = |v: &PlanValue| !matches!(v, PlanValue::Arg(_));
+    match step {
+        PlanStep::Read(a) => {
+            ir.reg(a.reg).slot.is_some() && matches!(a.offset, PlanOffset::Const(_))
+        }
+        PlanStep::Write(a, c) => {
+            ir.reg(a.reg).slot.is_some()
+                && matches!(a.offset, PlanOffset::Const(_))
+                && c.segs.iter().all(|ws| value_ok(&ws.value))
+        }
+        PlanStep::SetCell { value, .. } => value_ok(value),
+    }
+}
+
+/// The fixed slots behind an emittable read plan's assemble list —
+/// shared by both back ends so `PlanSlot` handling cannot diverge.
+pub fn assemble_slots(plan: &AccessPlan) -> Vec<(usize, devil_ir::FieldSeg)> {
+    plan.assemble
+        .iter()
+        .map(|(slot, seg)| match slot {
+            PlanSlot::Fixed(s) => (*s, *seg),
+            PlanSlot::Indexed { .. } => {
+                unreachable!("emittable plans assemble from fixed slots")
+            }
+        })
+        .collect()
+}
+
+/// The stub surface one device exposes: which variables and structures
+/// get which generated entry points. Shared by the C and Rust emitters
+/// and by the compiled-code differential oracle (which must know what
+/// it can call).
+#[derive(Clone, Debug, Default)]
+pub struct StubApi {
+    /// Full-access read stubs (the interpreter's `read_id` semantics):
+    /// plan-covered register variables plus memory cells.
+    pub read_vars: Vec<VarId>,
+    /// Write-through stubs (`write_id` semantics): plan-covered
+    /// register variables plus set-action-free memory cells.
+    pub write_vars: Vec<VarId>,
+    /// Cache-assemble getters for structure fields (`get_field_id`).
+    pub field_getters: Vec<VarId>,
+    /// Cache-staging setters for structure fields (`set_field_id`).
+    pub field_stagers: Vec<VarId>,
+    /// Structure readers (`read_struct_id`).
+    pub read_structs: Vec<StructId>,
+    /// Structure flushes (`write_struct_id`).
+    pub write_structs: Vec<StructId>,
+}
+
+impl StubApi {
+    /// Computes the emitted surface of a lowered device.
+    pub fn of(ir: &DeviceIr) -> StubApi {
+        let mut api = StubApi::default();
+        for (vi, var) in ir.vars.iter().enumerate() {
+            let vid = VarId(vi as u32);
+            if var.params.is_empty() {
+                let emittable = |plan: &Option<std::sync::Arc<AccessPlan>>| -> bool {
+                    plan.as_deref().is_some_and(|p| plan_emittable(ir, p))
+                };
+                if var.readable && (var.mem_cell.is_some() || emittable(&var.read_plan)) {
+                    api.read_vars.push(vid);
+                }
+                let mem_write_ok = var.mem_cell.is_some() && var.set.is_empty();
+                if var.writable && (mem_write_ok || emittable(&var.write_plan)) {
+                    api.write_vars.push(vid);
+                }
+            }
+            if var.parent.is_some() {
+                if var.mem_cell.is_some() || var.slot_assemble.is_some() {
+                    api.field_getters.push(vid);
+                }
+                let stageable =
+                    var.mem_cell.is_some() || var.segs.iter().all(|s| ir.reg(s.reg).slot.is_some());
+                if stageable {
+                    api.field_stagers.push(vid);
+                }
+            }
+        }
+        for (si, st) in ir.structs.iter().enumerate() {
+            let sid = StructId(si as u32);
+            if st.read_plan.as_deref().is_some_and(|p| plan_emittable(ir, p)) {
+                api.read_structs.push(sid);
+            }
+            if st.write_plan.as_deref().is_some_and(|p| plan_emittable(ir, p)) {
+                api.write_structs.push(sid);
+            }
+        }
+        api
+    }
+
+    /// Whether `vid` has a full-read stub.
+    pub fn reads_var(&self, vid: VarId) -> bool {
+        self.read_vars.contains(&vid)
+    }
+
+    /// Whether `vid` has a write-through stub.
+    pub fn writes_var(&self, vid: VarId) -> bool {
+        self.write_vars.contains(&vid)
+    }
+
+    /// Whether `vid` has a cache-assemble field getter.
+    pub fn gets_field(&self, vid: VarId) -> bool {
+        self.field_getters.contains(&vid)
+    }
+
+    /// Whether `vid` has a cache-staging field setter.
+    pub fn stages_field(&self, vid: VarId) -> bool {
+        self.field_stagers.contains(&vid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ir_for(src: &str) -> DeviceIr {
+        devil_ir::lower(&devil_sema::check_source(src, &[]).unwrap())
+    }
+
+    #[test]
+    fn shipped_specs_expose_their_plan_surface() {
+        let ir = ir_for(include_str!("../../../specs/pic8259.dil"));
+        let api = StubApi::of(&ir);
+        let init = ir.struct_id("init").unwrap();
+        assert!(api.write_structs.contains(&init), "guard-split init flush is emittable");
+        assert!(api.read_structs.is_empty(), "icw registers are write-only");
+        let ic4 = ir.var_id("ic4").unwrap();
+        assert!(api.writes_var(ic4) && api.stages_field(ic4) && api.gets_field(ic4));
+        assert!(!api.reads_var(ic4), "no read plan on a write-only register");
+    }
+
+    #[test]
+    fn family_backed_plans_are_not_emittable() {
+        // `sel` lives on a family instance: its guard slot has no
+        // concrete owner, so the conditional flush keeps the
+        // interpreter API even though the plan itself compiled.
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..3}) {
+                 register f(i : int{0..1}) = base @ i, mask '.......*' : bit[8];
+                 register a = write base @ 2 : bit[8];
+                 register c = write base @ 3 : bit[8];
+                 structure s = {
+                   variable sel = f(1)[0], volatile : bool;
+                   variable fa = a : int(8);
+                   variable v = c : int(8);
+                 } serialized as { a; if (sel == true) c; };
+               }"#,
+        );
+        let api = StubApi::of(&ir);
+        assert!(api.write_structs.is_empty());
+        if let Some(plan) = ir.strct(ir.struct_id("s").unwrap()).write_plan.as_deref() {
+            assert!(!plan_emittable(&ir, plan));
+        }
+    }
+
+    #[test]
+    fn memory_cells_round_trip_through_stubs() {
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..0}) {
+                 private variable xm : bool;
+                 register control = base @ 0, set {xm = false} : bit[8];
+                 variable IA = control : int{0..31};
+               }"#,
+        );
+        let api = StubApi::of(&ir);
+        let xm = ir.var_id("xm").unwrap();
+        assert!(api.reads_var(xm) && api.writes_var(xm), "plain cell round-trips");
+        let ia = ir.var_id("IA").unwrap();
+        assert!(api.reads_var(ia) && api.writes_var(ia), "set-action folds into IA's plan");
+    }
+}

@@ -51,6 +51,38 @@ fn rust_output_matches_golden() {
     assert_matches_golden("busmouse.rs", &got);
 }
 
+/// A Rust golden on the conditional-serialization device: the 8259A's
+/// guarded ICW flush is pinned as an `if`/`else if` chain over the
+/// plan variants' slot guards.
+#[test]
+fn rust_pic8259_output_matches_golden() {
+    let got = devil_codegen::compile_to_rust(SPEC_PIC).unwrap();
+    assert_matches_golden("pic8259.rs", &got);
+}
+
+#[test]
+fn pic8259_rust_golden_guards_the_icw_flush() {
+    let m = devil_codegen::compile_to_rust(SPEC_PIC).unwrap();
+    let put = m
+        .split("pub fn put_init")
+        .nth(1)
+        .expect("put_init emitted")
+        .split("pub fn")
+        .next()
+        .unwrap()
+        .to_string();
+    // Four guard-split variants: an if, two else-ifs, a final else.
+    assert_eq!(put.matches("} else if ").count(), 2, "{put}");
+    assert_eq!(put.matches("} else {").count(), 1, "{put}");
+    // Every variant flushes in automaton order; the fully-populated one
+    // (CASCADED + IC4) writes all five registers.
+    assert!(put.contains("self.write_icw3(dev)"), "{put}");
+    assert!(put.contains("self.write_icw4(dev)"), "{put}");
+    // Guards test the cached icw1 bits (sngl at bit 1, ic4 at bit 0).
+    assert!(put.contains("(self.cache_icw1 & 0x2) == 0x0"), "{put}");
+    assert!(put.contains("(self.cache_icw1 & 0x1) == 0x1"), "{put}");
+}
+
 /// A second C golden on a serialization-heavy device, so struct-plan
 /// and emitter refactors cannot silently change generated code beyond
 /// the busmouse's shape.
@@ -92,8 +124,8 @@ fn pic8259_c_output_matches_golden() {
 #[test]
 fn pic8259_golden_keeps_the_icw_flush_order() {
     let h = devil_codegen::compile_to_c(SPEC_PIC, "pic").unwrap();
-    // Every ICW register appears (inside its guard where conditional),
-    // flushed in automaton order, OCW1 last.
+    // The flush is a guard-variant ternary chain; each variant writes
+    // the ICW registers in automaton order, OCW1 last.
     let mut lines = h.lines().skip_while(|l| !l.starts_with("#define pic_put_init"));
     let mut put = String::new();
     for l in lines.by_ref() {
@@ -103,25 +135,37 @@ fn pic8259_golden_keeps_the_icw_flush_order() {
             break;
         }
     }
-    let pos = |name: &str| {
-        put.find(&format!("pic__write_{name}")).unwrap_or_else(|| panic!("{name} written:\n{put}"))
-    };
-    let order = [pos("icw1"), pos("icw2"), pos("icw3"), pos("icw4"), pos("ocw1")];
-    assert!(order.windows(2).all(|w| w[0] < w[1]), "ICW order lost:\n{put}");
-    // The conditional steps are real guards over the cached bits — the
-    // generated flush skips ICW3/ICW4 exactly as the interpreter's
-    // guard-split plans do, not an unconditional flattening.
-    assert!(put.contains("? (pic__write_icw3"), "icw3 must be guarded:\n{put}");
-    assert!(put.contains("? (pic__write_icw4"), "icw4 must be guarded:\n{put}");
-    assert!(put.contains("pic_cache.cache_icw1 & 0x2u"), "sngl bit tested:\n{put}");
-    assert!(put.contains("pic_cache.cache_icw1 & 0x1u"), "ic4 bit tested:\n{put}");
+    // One straight-line variant per sngl × ic4 combination: icw1, icw2
+    // and ocw1 appear in all four, icw3/icw4 only where their guard
+    // admits them (2 variants each).
+    assert_eq!(put.matches("pic__write_icw1").count(), 4, "{put}");
+    assert_eq!(put.matches("pic__write_icw3").count(), 2, "{put}");
+    assert_eq!(put.matches("pic__write_icw4").count(), 2, "{put}");
+    assert_eq!(put.matches("pic__write_ocw1").count(), 4, "{put}");
+    // Within each variant the automaton order holds.
+    for (k, variant) in put.split('?').skip(1).enumerate() {
+        let arm = variant.split(':').next().unwrap();
+        let mut last = 0;
+        for name in ["icw1", "icw2", "icw3", "icw4", "ocw1"] {
+            if let Some(p) = arm.find(&format!("pic__write_{name}")) {
+                assert!(p >= last, "variant {k}: {name} out of order:\n{arm}");
+                last = p;
+            }
+        }
+    }
+    // The variant guards test the cached icw1 bits — the generated
+    // flush skips ICW3/ICW4 exactly as the interpreter's guard-split
+    // plans do, not an unconditional flattening.
+    assert!(put.contains("(pic_cache.cache_icw1 & 0x2ull) == 0x0ull"), "sngl tested:\n{put}");
+    assert!(put.contains("(pic_cache.cache_icw1 & 0x1ull) == 0x1ull"), "ic4 tested:\n{put}");
 }
 
 #[test]
 fn golden_contains_figure_3_structure() {
     let h = devil_codegen::compile_to_c(SPEC, "bm").unwrap();
     // The paper's Figure 3c: the inlined structure reader performs the
-    // four index writes and four data reads.
+    // four index writes and four data reads, lowered straight from the
+    // struct plan's steps.
     let mut lines = h.lines().skip_while(|l| !l.starts_with("#define bm_get_mouse_state"));
     let mut get_state = String::new();
     for l in lines.by_ref() {
@@ -131,6 +175,6 @@ fn golden_contains_figure_3_structure() {
             break;
         }
     }
-    assert_eq!(get_state.matches("bm_set_index").count(), 4);
+    assert_eq!(get_state.matches("bm__write_index_reg").count(), 4);
     assert_eq!(get_state.matches("__read_").count(), 4);
 }

@@ -16,6 +16,8 @@ use devil_ir::DeviceIr;
 use devil_runtime::{DeviceInstance, FakeAccess};
 use devil_sema::model::{Offset, StructId, VarId};
 
+pub mod compiled;
+
 /// One operation against a device instance.
 #[derive(Clone, Debug)]
 pub enum Op {

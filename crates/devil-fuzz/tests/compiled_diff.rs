@@ -1,0 +1,201 @@
+//! The compiled-C differential oracle, over the whole embedded spec
+//! library: emit the C stubs, compile them with `cc` together with a
+//! generated bus-shim harness, replay fuzz op-streams through the
+//! compiled binary and the fast-path interpreter, and assert identical
+//! bus logs, read results and final cache state.
+//!
+//! Artifacts are content-hashed into `CARGO_TARGET_TMPDIR`, so repeated
+//! runs (and CI caches of `target/tmp`) compile each spec at most once
+//! per emitter/spec revision. CI runs this on every PR at the default
+//! case count and nightly with `PROPTEST_CASES=1024`.
+
+use devil_codegen::StubApi;
+use devil_fuzz::compiled::{
+    cc_available, check_compiled, commands, interp_observation, stub_ops, CompiledStub,
+};
+use devil_fuzz::{decode, init_sweep_ops, sweep_ops, Op};
+use devil_ir::DeviceIr;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+struct Rig {
+    name: &'static str,
+    ir: DeviceIr,
+    api: StubApi,
+    stub: CompiledStub,
+}
+
+/// The 8-spec library, lowered and compiled once per test binary.
+fn rigs() -> &'static [Rig] {
+    static RIGS: OnceLock<Vec<Rig>> = OnceLock::new();
+    RIGS.get_or_init(|| {
+        let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("compiled-oracle");
+        drivers::specs::ALL
+            .iter()
+            .map(|(name, src)| {
+                let model = devil_sema::check_source(src, &[]).expect("embedded spec checks");
+                let ir = devil_ir::lower(&model);
+                let api = StubApi::of(&ir);
+                let stub = CompiledStub::build(name, &ir, &dir)
+                    .unwrap_or_else(|e| panic!("{name}: cannot build compiled oracle: {e}"));
+                Rig { name, ir, api, stub }
+            })
+            .collect()
+    })
+}
+
+/// `cc` is required for this suite; bail out loudly (but green) on
+/// machines without one so tier-1 stays runnable anywhere. The probe
+/// spawns a process, so it runs once per test binary.
+fn skip_without_cc() -> bool {
+    static HAS_CC: OnceLock<bool> = OnceLock::new();
+    if *HAS_CC.get_or_init(cc_available) {
+        return false;
+    }
+    eprintln!("skipping compiled-C oracle: no `cc` on PATH");
+    true
+}
+
+/// Every spec's stub surface is non-trivial: the oracle is replaying
+/// real work, not an empty filtered stream.
+#[test]
+fn stub_surface_covers_the_spec_library() {
+    if skip_without_cc() {
+        return;
+    }
+    for rig in rigs() {
+        assert!(
+            !rig.api.read_vars.is_empty() || !rig.api.write_vars.is_empty(),
+            "{}: no variable stubs emitted",
+            rig.name
+        );
+        let ops = stub_ops(&rig.ir, &rig.api, &sweep_ops(&rig.ir));
+        assert!(ops.len() > 4, "{}: sweep filtered down to {} ops", rig.name, ops.len());
+    }
+    // The guard-split flagship: pic8259's conditional init flush is a
+    // compiled stub, exercised through every guard combination below.
+    let pic = rigs().iter().find(|r| r.name == "pic8259").unwrap();
+    let init = pic.ir.struct_id("init").unwrap();
+    assert!(pic.api.write_structs.contains(&init), "pic init flush must be compiled");
+}
+
+/// The deterministic coverage sweep, compiled stubs vs interpreter.
+#[test]
+fn coverage_sweep_matches_compiled_stubs() {
+    if skip_without_cc() {
+        return;
+    }
+    for rig in rigs() {
+        if let Err(e) = check_compiled(&rig.stub, &rig.ir, &rig.api, &sweep_ops(&rig.ir)) {
+            panic!("{}: {e}", rig.name);
+        }
+    }
+}
+
+/// The guard-domain init sweep: every structure flushed across its
+/// whole guard cross product, compiled stubs vs interpreter.
+#[test]
+fn init_sequence_sweep_matches_compiled_stubs() {
+    if skip_without_cc() {
+        return;
+    }
+    for rig in rigs() {
+        if let Err(e) = check_compiled(&rig.stub, &rig.ir, &rig.api, &init_sweep_ops(&rig.ir)) {
+            panic!("{}: {e}", rig.name);
+        }
+    }
+}
+
+/// Cold-cache reads: the generated idempotent getters must perform the
+/// same device I/O as `read_id` on a never-touched cache, then serve
+/// later reads without I/O — validity tracking, not zero-initialization,
+/// decides.
+#[test]
+fn cold_and_warm_reads_match_compiled_stubs() {
+    if skip_without_cc() {
+        return;
+    }
+    for rig in rigs() {
+        let mut ops: Vec<Op> = Vec::new();
+        for &vid in &rig.api.read_vars {
+            ops.push(Op::ReadVar { vid, args: Vec::new() });
+            ops.push(Op::ReadVar { vid, args: Vec::new() });
+        }
+        if let Err(e) = check_compiled(&rig.stub, &rig.ir, &rig.api, &ops) {
+            panic!("{}: {e}", rig.name);
+        }
+    }
+}
+
+/// Private (memory-cell) structure fields: staging, set-actions and
+/// cached getters must agree between compiled stubs and interpreter.
+/// Regression for the lowering bug where such fields carried an empty
+/// slot-assemble list and the interpreter's cached getter returned 0.
+#[test]
+fn private_struct_fields_agree_with_compiled_stubs() {
+    if skip_without_cc() {
+        return;
+    }
+    let src = r#"device privfield (base : bit[8] port @ {0..0}) {
+        register a = base @ 0, set {pm = true} : bit[8];
+        structure s = {
+          private variable pm : bool;
+          variable fa = a : int(8);
+        };
+    }"#;
+    let model = devil_sema::check_source(src, &[]).expect("probe spec checks");
+    let ir = devil_ir::lower(&model);
+    let api = StubApi::of(&ir);
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("compiled-oracle");
+    let stub = CompiledStub::build("privfield", &ir, &dir).expect("probe stub builds");
+    let pm = ir.var_id("pm").unwrap();
+    let fa = ir.var_id("fa").unwrap();
+    let sid = ir.struct_id("s").unwrap();
+    let ops = vec![
+        Op::WriteVar { vid: pm, args: vec![], value: 0x55 },
+        Op::ReadVar { vid: pm, args: vec![] },
+        Op::WriteStruct { sid, values: vec![(pm, 0), (fa, 0x7e)] },
+        Op::ReadStruct { sid },
+        Op::ReadVar { vid: pm, args: vec![] },
+    ];
+    if let Err(e) = check_compiled(&stub, &ir, &api, &ops) {
+        panic!("privfield: {e}");
+    }
+}
+
+/// The oracle is sensitive: feeding the compiled side a stream with
+/// the device presets removed must produce a visible divergence (bus
+/// values and final cache state differ). Guards against a comparator
+/// that vacuously passes.
+#[test]
+fn oracle_detects_injected_divergence() {
+    if skip_without_cc() {
+        return;
+    }
+    let rig = rigs().iter().find(|r| r.name == "busmouse").unwrap();
+    let kept = stub_ops(&rig.ir, &rig.api, &sweep_ops(&rig.ir));
+    assert!(kept.iter().any(|o| matches!(o, Op::Preset { .. })), "sweep must preset");
+    let want = interp_observation(&rig.ir, &kept);
+    let skewed: Vec<Op> =
+        kept.iter().filter(|o| !matches!(o, Op::Preset { .. })).cloned().collect();
+    let got = rig.stub.run(commands(&rig.ir, &rig.api, &skewed)).expect("harness runs");
+    assert_ne!(want, got, "oracle must notice the diverging device state");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random op streams over every spec: the compiled stubs and the
+    /// fast-path interpreter must be observationally identical.
+    #[test]
+    fn compiled_stubs_and_interpreter_agree(words in collection::vec(any::<u64>(), 1..48)) {
+        if skip_without_cc() {
+            return Ok(());
+        }
+        for rig in rigs() {
+            let ops = decode(&rig.ir, &words);
+            let r = check_compiled(&rig.stub, &rig.ir, &rig.api, &ops);
+            prop_assert!(r.is_ok(), "{}: {}", rig.name, r.err().unwrap_or_default());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The documented guard-split fallback causes, each pinned by a
+//! synthetic spec: a conditional order testing the variable being
+//! written, a memory-cell tested variable, and a nested conditional
+//! order reached through an action. For each, the access must compile
+//! **no** plan, land on the general interpreter (`PlanStats.general`),
+//! match a hand-computed bus-log oracle, and stay differentially
+//! identical between the fast and general modes.
+
+use devil_fuzz::{check_equivalence, Op};
+use devil_ir::DeviceIr;
+use devil_runtime::{DeviceInstance, FakeAccess};
+
+fn ir(src: &str) -> DeviceIr {
+    devil_ir::lower(&devil_sema::check_source(src, &[]).expect("spec checks"))
+}
+
+/// Cause 1: the serialization condition tests the variable being
+/// written. The general path stores the new bits into the cache before
+/// evaluating conditions, so no entry-state guard can describe the
+/// order — the write must keep the general interpreter.
+#[test]
+fn self_written_tested_variable_falls_back() {
+    let ir = ir(r#"device d (base : bit[8] port @ {0..0}) {
+        register a = write base @ 0 : bit[8];
+        variable rest = a[7..1] : int(7);
+        variable w = a[0] : bool serialized as { if (w == true) a; };
+    }"#);
+    let w = ir.var_id("w").unwrap();
+    assert!(ir.var(w).write_plan.is_none(), "self-tested write must not plan-compile");
+
+    let mut inst = DeviceInstance::new(ir.clone());
+    let mut dev = FakeAccess::new();
+    inst.write_id(&mut dev, w, &[], 1).unwrap();
+    inst.write_id(&mut dev, w, &[], 0).unwrap();
+    inst.write_id(&mut dev, w, &[], 1).unwrap();
+    // Hand-computed oracle: the condition sees the *newly written*
+    // value (the general path stores the bits before evaluating).
+    // w=1 flushes `a` with bit 0 set; w=0 flushes nothing at all.
+    assert_eq!(
+        dev.log,
+        vec![(true, 0, 0, 1), (true, 0, 0, 1)],
+        "general path must evaluate the condition against the written value"
+    );
+    let stats = inst.plan_stats();
+    assert!(stats.general > 0, "access must land on the general path: {stats:?}");
+    assert_eq!(stats.straight + stats.guarded, 0, "no plan dispatch expected: {stats:?}");
+
+    // And the fast-mode instance (which has no plan to take) stays
+    // observationally identical to the general interpreter.
+    let ops = vec![
+        Op::WriteVar { vid: w, args: vec![], value: 1 },
+        Op::WriteVar { vid: ir.var_id("rest").unwrap(), args: vec![], value: 0x5a },
+        Op::WriteVar { vid: w, args: vec![], value: 0 },
+        Op::WriteVar { vid: w, args: vec![], value: 1 },
+    ];
+    check_equivalence(&ir, &ops).unwrap();
+}
+
+/// Cause 2: the serialization condition tests a memory-cell variable.
+/// Memory cells have no register slot to guard, so the order keeps the
+/// general interpreter (which reads the cell directly).
+#[test]
+fn mem_cell_tested_variable_falls_back() {
+    let ir = ir(r#"device d (base : bit[8] port @ {0..1}) {
+        private variable m : bool;
+        register a = write base @ 0 : bit[8];
+        register c = write base @ 1 : bit[8];
+        variable resta = a[7..1] : int(7);
+        variable restc = c[7..1] : int(7);
+        variable w = c[0] # a[0] : int(2) serialized as { a; if (m == true) c; };
+    }"#);
+    let w = ir.var_id("w").unwrap();
+    assert!(ir.var(w).write_plan.is_none(), "mem-tested write must not plan-compile");
+
+    let m = ir.var_id("m").unwrap();
+    let mut inst = DeviceInstance::new(ir.clone());
+    let mut dev = FakeAccess::new();
+    inst.write_id(&mut dev, m, &[], 1).unwrap();
+    inst.write_id(&mut dev, w, &[], 0b11).unwrap();
+    inst.write_id(&mut dev, m, &[], 0).unwrap();
+    inst.write_id(&mut dev, w, &[], 0b10).unwrap();
+    // Hand-computed oracle: w's low bit lands in `a`, its high bit in
+    // `c`. With m=1 both registers flush; with m=0 only `a` does (the
+    // high bit stays staged in c's cache).
+    assert_eq!(
+        dev.log,
+        vec![(true, 0, 0, 1), (true, 0, 1, 1), (true, 0, 0, 0)],
+        "the memory cell must gate the conditional flush"
+    );
+    let stats = inst.plan_stats();
+    assert!(stats.general > 0, "flush must land on the general path: {stats:?}");
+    assert_eq!(stats.guarded, 0, "no guarded variant exists to take: {stats:?}");
+
+    let ops = vec![
+        Op::WriteVar { vid: m, args: vec![], value: 1 },
+        Op::WriteVar { vid: w, args: vec![], value: 0b01 },
+        Op::WriteVar { vid: ir.var_id("restc").unwrap(), args: vec![], value: 0x3c },
+        Op::WriteVar { vid: m, args: vec![], value: 0 },
+        Op::WriteVar { vid: w, args: vec![], value: 0b10 },
+    ];
+    check_equivalence(&ir, &ops).unwrap();
+}
+
+/// Cause 3: a nested conditional order reached through an action. The
+/// condition would be evaluated mid-access — after earlier steps have
+/// already changed the cache — where the plan's entry guards no longer
+/// describe the state, so the reading variable keeps the general path.
+#[test]
+fn nested_conditional_through_action_falls_back() {
+    let ir = ir(r#"device d (base : bit[8] port @ {0..2}) {
+        register a = write base @ 0 : bit[8];
+        register c = write base @ 1 : bit[8];
+        structure s = {
+          variable sel = a[0] : bool;
+          variable rest = a[7..1] : int(7);
+          variable v = c : int(8);
+        } serialized as { a; if (sel == true) c; };
+        register data = read base @ 2, pre {s = {sel => true; rest => 1; v => 2}} : bit[8];
+        variable payload = data, volatile : int(8);
+    }"#);
+    let payload = ir.var_id("payload").unwrap();
+    assert!(ir.var(payload).read_plan.is_none(), "nested conditional must not plan-compile");
+    // The struct's own top-level flush still guard-splits — the
+    // fallback is specific to the action-nested evaluation.
+    assert!(ir.strct(ir.struct_id("s").unwrap()).write_plan.is_some());
+
+    let mut inst = DeviceInstance::new(ir.clone());
+    let mut dev = FakeAccess::new();
+    dev.preset(0, 2, 0x99);
+    assert_eq!(inst.read_id(&mut dev, payload, &[]).unwrap(), 0x99);
+    // Hand-computed oracle: the pre-action stores sel=1, rest=1, v=2,
+    // then flushes with the condition true — a (0b11) and c (2) —
+    // before the data read.
+    assert_eq!(
+        dev.log,
+        vec![(true, 0, 0, 0b11), (true, 0, 1, 2), (false, 0, 2, 0x99)],
+        "the nested conditional flush must run mid-access"
+    );
+    let stats = inst.plan_stats();
+    assert!(stats.general > 0, "read must land on the general path: {stats:?}");
+
+    let ops = vec![
+        Op::ReadVar { vid: payload, args: vec![] },
+        Op::Preset { port: 0, offset: 2, value: 0x42 },
+        Op::ReadVar { vid: payload, args: vec![] },
+    ];
+    check_equivalence(&ir, &ops).unwrap();
+}

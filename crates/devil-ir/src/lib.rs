@@ -76,6 +76,12 @@ pub struct DeviceIr {
     /// variant walks one slice and dispatch never chases a pointer.
     /// Shared via `Arc` so cloning a `DeviceIr` never copies the steps.
     pub plan_arena: Arc<[PlanStep]>,
+    /// Reverse slot map: the concrete register owning each flat cache
+    /// slot (`None` for slots inside a family's indexed range). The
+    /// emitters use this to name guard and assemble slots.
+    slot_owners: Vec<Option<RegId>>,
+    /// Reverse memory-cell map: the private variable owning each cell.
+    mem_owners: Vec<VarId>,
     /// Interned name table: `(name, id)` sorted by name, for
     /// hash-free variable resolution.
     var_names: Vec<(String, VarId)>,
@@ -695,8 +701,14 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
             .as_ref()
             .map(|cs| cs.iter().all(|c| model.reg(c.reg).writable()))
             .unwrap_or(true);
-        let slot_assemble =
-            segs.iter().map(|s| regs[s.reg.0 as usize].slot.map(|sl| (sl, s.seg))).collect();
+        // Memory cells have no register bits to assemble: they must
+        // keep `None` so cached getters read the cell, not an empty
+        // (always-0) segment list.
+        let slot_assemble = if mem_cell.is_some() {
+            None
+        } else {
+            segs.iter().map(|s| regs[s.reg.0 as usize].slot.map(|sl| (sl, s.seg))).collect()
+        };
         vars.push(VarIr {
             name: v.name.clone(),
             private: v.private,
@@ -774,6 +786,19 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
     let mut reg_names: Vec<(String, RegId)> =
         regs.iter().enumerate().map(|(i, r)| (r.name.clone(), RegId(i as u32))).collect();
     reg_names.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut slot_owners: Vec<Option<RegId>> = vec![None; cache_slots];
+    for (ri, r) in regs.iter().enumerate() {
+        if let Some(s) = r.slot {
+            slot_owners[s] = Some(RegId(ri as u32));
+        }
+    }
+    let mut mem_owners: Vec<VarId> = vec![VarId(0); mem_cells];
+    for (vi, v) in vars.iter().enumerate() {
+        if let Some(c) = v.mem_cell {
+            mem_owners[c] = VarId(vi as u32);
+        }
+    }
+
     let mut struct_names: Vec<(String, StructId)> = structs
         .iter()
         .enumerate()
@@ -790,6 +815,8 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
         mem_cells,
         cache_slots,
         plan_arena: arena.into(),
+        slot_owners,
+        mem_owners,
         var_names,
         reg_names,
         struct_names,
@@ -1610,6 +1637,21 @@ impl DeviceIr {
         &self.plan_arena[v.start as usize..(v.start + v.len) as usize]
     }
 
+    /// The concrete register owning a flat cache slot, or `None` for
+    /// slots inside a family's indexed range. This is how the stub
+    /// emitters name the cache field behind a [`PlanGuard`] or an
+    /// assemble entry.
+    #[inline]
+    pub fn slot_owner(&self, slot: usize) -> Option<RegId> {
+        self.slot_owners.get(slot).copied().flatten()
+    }
+
+    /// The private variable owning a memory cell.
+    #[inline]
+    pub fn mem_owner(&self, cell: usize) -> Option<VarId> {
+        self.mem_owners.get(cell).copied()
+    }
+
     /// Resolves a register binding's offset for concrete family args.
     pub fn resolve_offset(&self, binding: &PortBinding, args: &[u64]) -> u64 {
         match binding.offset {
@@ -2252,6 +2294,56 @@ device logitech_busmouse (base : bit[8] port @ {0..3}) {
         }
         assert_eq!(ir.var_id("nonexistent"), None);
         assert_eq!(ir.struct_id("mouse_state"), Some(StructId(0)));
+    }
+
+    #[test]
+    fn mem_cell_fields_have_no_slot_assemble() {
+        // Regression: a private (memory-cell) structure field used to
+        // lower with `slot_assemble = Some([])`, sending the runtime's
+        // cached getter down the register-assemble path where it
+        // returned 0 instead of the cell value.
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..0}) {
+                 register a = base @ 0, set {pm = true} : bit[8];
+                 structure s = {
+                   private variable pm : bool;
+                   variable fa = a : int(8);
+                 };
+               }"#,
+        );
+        let pm = ir.var(ir.var_id("pm").unwrap());
+        assert!(pm.mem_cell.is_some());
+        assert!(pm.slot_assemble.is_none(), "mem cells must not fake a register assemble");
+        let fa = ir.var(ir.var_id("fa").unwrap());
+        assert!(fa.slot_assemble.is_some());
+    }
+
+    #[test]
+    fn slot_and_cell_owners_invert_the_layout() {
+        let ir = ir_for(BUSMOUSE);
+        for (ri, r) in ir.regs.iter().enumerate() {
+            let slot = r.slot.expect("busmouse registers are concrete");
+            assert_eq!(ir.slot_owner(slot), Some(RegId(ri as u32)), "{}", r.name);
+        }
+        assert_eq!(ir.slot_owner(ir.cache_slots), None);
+        let ir2 = ir_for(
+            r#"device d (base : bit[8] port @ {0..0}) {
+                 private variable xm : bool;
+                 register control = base @ 0, set {xm = false} : bit[8];
+                 variable IA = control : int{0..31};
+               }"#,
+        );
+        assert_eq!(ir2.mem_owner(0), Some(ir2.var_id("xm").unwrap()));
+        assert_eq!(ir2.mem_owner(1), None);
+        // Family ranges own no named slot.
+        let ir3 = ir_for(
+            r#"device d (base : bit[8] port @ {0..3}) {
+                 register r(i : int{0..3}) = base @ i : bit[8];
+                 variable v(i : int{0..3}) = r(i), volatile : int(8);
+               }"#,
+        );
+        let fam = ir3.reg(ir3.reg_id("r").unwrap()).family_slots.as_ref().unwrap();
+        assert_eq!(ir3.slot_owner(fam.base), None);
     }
 
     #[test]

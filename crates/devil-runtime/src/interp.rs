@@ -146,6 +146,18 @@ impl DeviceInstance {
         self.stats = PlanStats::default();
     }
 
+    /// The flat cache: per-slot raw values and their validity flags.
+    /// Verification harnesses (the compiled-stub differential oracle)
+    /// compare this against a generated stub's cache struct.
+    pub fn cache_snapshot(&self) -> (&[u64], &[bool]) {
+        (&self.slots, &self.slot_valid)
+    }
+
+    /// The private memory cells, indexed by `VarIr::mem_cell`.
+    pub fn mem_snapshot(&self) -> &[u64] {
+        &self.mem
+    }
+
     /// Pops a reusable order buffer (empty) from the pool.
     fn pop_order_buf(&mut self) -> Vec<RegId> {
         self.order_pool.pop().unwrap_or_default()
@@ -1222,6 +1234,29 @@ mod tests {
         d.write_struct(&mut dev, "init").unwrap();
         assert_eq!(dev.ops(), 5);
         assert_eq!(dev.regs[&(0, 1)], 0x99, "icw3 flushed last at base@1");
+    }
+
+    #[test]
+    fn private_struct_fields_round_trip_through_their_cell() {
+        // Regression: with plans enabled, a private (memory-cell)
+        // structure field's getter used to take the slot-assemble fast
+        // path and return 0 instead of the cell value.
+        let mut d = instance(
+            r#"device d (base : bit[8] port @ {0..0}) {
+                 register a = base @ 0, set {pm = true} : bit[8];
+                 structure s = {
+                   private variable pm : bool;
+                   variable fa = a : int(8);
+                 };
+               }"#,
+        );
+        d.set_field("pm", 1).unwrap();
+        assert_eq!(d.get_field("pm").unwrap(), 1, "cell value must survive the fast path");
+        // The register's set-action also lands in the cell.
+        let mut dev = FakeAccess::new();
+        d.set_field("pm", 0).unwrap();
+        d.read_struct(&mut dev, "s").unwrap();
+        assert_eq!(d.get_field("pm").unwrap(), 1, "set-action writes the cell");
     }
 
     #[test]

@@ -95,6 +95,11 @@ impl DevilBusmouse {
         self.dev.set_debug_checks(on);
     }
 
+    /// Plan-dispatch counters of the underlying interpreter.
+    pub fn plan_stats(&self) -> devil_runtime::PlanStats {
+        self.dev.plan_stats()
+    }
+
     fn ports<'b>(&self, bus: &'b mut Bus) -> PortMap<'b> {
         PortMap::new(bus, vec![MappedPort::io(self.base)])
     }
@@ -181,6 +186,25 @@ mod tests {
             assert_eq!(ops_h, ops_d, "Devil stubs must cost the same 8 ops");
             assert_eq!(ops_h, 8, "4 index writes + 4 data reads");
         }
+    }
+
+    /// Mirrors the pic8259/IDE zero-fallback tests: every access of the
+    /// Figure 3 workload must dispatch on a precompiled plan. A future
+    /// regression pushing any busmouse access off the fast path fails
+    /// here loudly.
+    #[test]
+    fn devil_driver_runs_entirely_on_plans() {
+        let mut bus = rig(9, -9, 0b010);
+        let mut drv = DevilBusmouse::new(BASE);
+        assert_eq!(drv.signature(&mut bus), Busmouse::SIGNATURE);
+        drv.set_irq(&mut bus, true);
+        for _ in 0..3 {
+            drv.read_state(&mut bus);
+        }
+        drv.set_irq(&mut bus, false);
+        let stats = drv.plan_stats();
+        assert!(stats.straight > 0, "workload must hit plans: {stats:?}");
+        assert_eq!(stats.general, 0, "no general-interpreter fallback: {stats:?}");
     }
 
     #[test]

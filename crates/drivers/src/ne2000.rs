@@ -84,6 +84,11 @@ impl DevilNe2000 {
         DevilNe2000 { base, dev: crate::specs::instance(crate::specs::NE2000) }
     }
 
+    /// Plan-dispatch counters of the underlying interpreter.
+    pub fn plan_stats(&self) -> devil_runtime::PlanStats {
+        self.dev.plan_stats()
+    }
+
     fn ports<'b>(&self, bus: &'b mut Bus) -> PortMap<'b> {
         // Port 0: the byte registers at base; port 1: the 16-bit data
         // window. The spec addresses the window at offset 16, so the
@@ -192,6 +197,21 @@ mod tests {
         drv.send(&mut bus, &frame);
         assert!(irq.pending(), "PTX interrupt after transmit");
         let _ = nic_transmitted(&mut bus);
+    }
+
+    /// Mirrors the pic8259/IDE zero-fallback tests: the start/send
+    /// workload (trigger commands, remote-DMA setup, block transfers)
+    /// must dispatch every plain access on a precompiled plan.
+    #[test]
+    fn devil_driver_runs_entirely_on_plans() {
+        let (mut bus, _irq) = rig();
+        let mut devil = DevilNe2000::new(BASE);
+        devil.start(&mut bus);
+        devil.send(&mut bus, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let _ = devil.recv(&mut bus);
+        let stats = devil.plan_stats();
+        assert!(stats.straight > 0, "workload must hit plans: {stats:?}");
+        assert_eq!(stats.general, 0, "no general-interpreter fallback: {stats:?}");
     }
 
     #[test]

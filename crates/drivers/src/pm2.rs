@@ -180,6 +180,11 @@ impl DevilPm2 {
         DevilPm2 { base, depth, dev, fifo_space, wait_iterations: 0, wait_loops: 0 }
     }
 
+    /// Plan-dispatch counters of the underlying interpreter.
+    pub fn plan_stats(&self) -> devil_runtime::PlanStats {
+        self.dev.plan_stats()
+    }
+
     fn ports<'b>(&self, bus: &'b mut Bus) -> PortMap<'b> {
         PortMap::new(bus, vec![MappedPort::mem(self.base)])
     }
@@ -330,6 +335,21 @@ mod tests {
         // The paper's 15 writes + 3 wait loops (>=1 read each).
         assert_eq!(d.mem_write, 15);
         assert!(d.mem_read >= 3);
+    }
+
+    /// Mirrors the pic8259/IDE zero-fallback tests: the fill/copy
+    /// workload (FIFO polling included) must dispatch every access on
+    /// a precompiled plan.
+    #[test]
+    fn devil_driver_runs_entirely_on_plans() {
+        let mut bus = rig();
+        let mut devil = DevilPm2::new(BASE, Depth::Bpp8);
+        devil.set_depth(&mut bus);
+        devil.fill_rect(&mut bus, 0, 0, 16, 16, 0x42);
+        devil.copy_rect(&mut bus, 0, 0, 8, 8, 16, 16);
+        let stats = devil.plan_stats();
+        assert!(stats.straight > 0, "workload must hit plans: {stats:?}");
+        assert_eq!(stats.general, 0, "no general-interpreter fallback: {stats:?}");
     }
 
     #[test]
