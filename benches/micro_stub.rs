@@ -187,6 +187,58 @@ fn bench_micro(c: &mut Criterion) {
         })
     });
 
+    // A formerly-fallback shape: a data read whose pre-action flushes
+    // a struct with a *nested conditional* serialization (retired
+    // fallback cause 3). The general interpreter runs the whole action
+    // machinery per read; the plan inlines the folded condition into
+    // three straight-line steps.
+    let nested_instance = || {
+        let model = devil_sema::check_source(devil_fuzz::synthetic::NESTED_ACTION, &[]).unwrap();
+        DeviceInstance::new(devil_ir::lower(&model))
+    };
+    g.bench_function("interp_nested_cond_read", |b| {
+        let mut inst = nested_instance();
+        inst.set_fast_plans(false);
+        let payload = inst.ir().var_id("payload").unwrap();
+        let mut dev = FakeAccess::new();
+        dev.preset(0, 2, 0x99);
+        b.iter(|| black_box(inst.read_id(&mut dev, payload, &[]).unwrap()))
+    });
+    g.bench_function("plan_nested_cond_read", |b| {
+        let mut inst = nested_instance();
+        let payload = inst.ir().var_id("payload").unwrap();
+        let mut dev = FakeAccess::new();
+        dev.preset(0, 2, 0x99);
+        b.iter(|| black_box(inst.read_id(&mut dev, payload, &[]).unwrap()))
+    });
+
+    // Retired fallback cause 1: a write whose condition tests the
+    // variable being written — the plan selects its variant from the
+    // caller's value (input-sourced guard).
+    let selfw_instance = || {
+        let model = devil_sema::check_source(devil_fuzz::synthetic::SELF_TESTED, &[]).unwrap();
+        DeviceInstance::new(devil_ir::lower(&model))
+    };
+    g.bench_function("interp_self_tested_write", |b| {
+        let mut inst = selfw_instance();
+        inst.set_fast_plans(false);
+        let w = inst.ir().var_id("w").unwrap();
+        let mut dev = FakeAccess::new();
+        b.iter(|| {
+            inst.write_id(&mut dev, w, &[], black_box(1)).unwrap();
+            black_box(&dev);
+        })
+    });
+    g.bench_function("plan_self_tested_write", |b| {
+        let mut inst = selfw_instance();
+        let w = inst.ir().var_id("w").unwrap();
+        let mut dev = FakeAccess::new();
+        b.iter(|| {
+            inst.write_id(&mut dev, w, &[], black_box(1)).unwrap();
+            black_box(&dev);
+        })
+    });
+
     // Compilation pipeline cost: parse + check + lower.
     g.bench_function("compile_busmouse_spec", |b| {
         b.iter(|| {

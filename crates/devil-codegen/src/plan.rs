@@ -13,7 +13,9 @@
 //! causes — keeps the interpreter API, marked by a comment in the
 //! output.
 
-use devil_ir::{AccessPlan, DeviceIr, PlanOffset, PlanSlot, PlanStep, PlanValue};
+use devil_ir::{
+    AccessPlan, DeviceIr, GuardSource, PlanGuard, PlanOffset, PlanSlot, PlanStep, PlanValue,
+};
 use devil_sema::model::{StructId, VarId};
 
 /// Cap on emitted guard-split variants: each variant duplicates its
@@ -24,8 +26,8 @@ pub const VARIANT_EMIT_CAP: usize = 64;
 
 /// Whether a compiled plan can be lowered to stub text: all steps on
 /// concrete registers (fixed slots, constant offsets, no family
-/// arguments), all guards on slots a concrete register owns, and a
-/// bounded variant count.
+/// arguments), every guard source renderable (see [`guard_emittable`]),
+/// and a bounded variant count.
 pub fn plan_emittable(ir: &DeviceIr, plan: &AccessPlan) -> bool {
     if plan.variants.is_empty() || plan.variants.len() > VARIANT_EMIT_CAP {
         return false;
@@ -35,13 +37,37 @@ pub fn plan_emittable(ir: &DeviceIr, plan: &AccessPlan) -> bool {
         PlanSlot::Indexed { .. } => false,
     };
     plan.variants.iter().all(|v| {
-        v.guards.iter().all(|g| ir.slot_owner(g.slot).is_some())
+        v.guards.iter().all(|g| guard_emittable(ir, g))
             && ir.variant_steps(v).iter().all(|step| step_emittable(ir, step))
     }) && plan.assemble.iter().all(|(slot, _)| fixed_owned(slot))
 }
 
+/// Whether a guard's source can be rendered in stub text. Exhaustive
+/// over [`GuardSource`] — a future source must be classified here
+/// before anything emits, so it can be rejected but never mis-emitted.
+fn guard_emittable(ir: &DeviceIr, g: &PlanGuard) -> bool {
+    match g.source {
+        GuardSource::Slot(s) => ir.slot_owner(s).is_some(),
+        // Cells store unmasked: a value outside the enumerated domain
+        // matches no variant, and the emitted exhaustive ternary/if
+        // chain — unlike the interpreter — has no general path to fall
+        // back to. Cell-guarded plans keep the interpreter API.
+        GuardSource::Cell(_) => false,
+        // The stub's own value argument; only write plans carry input
+        // guards (the lowerer constructs them solely for the variable
+        // being written), and write stubs always take `v`.
+        GuardSource::Input => true,
+    }
+}
+
+/// Whether one step can be rendered in stub text. Exhaustive over
+/// [`PlanStep`] — a future step kind fails to compile here instead of
+/// silently emitting wrong C/Rust.
 fn step_emittable(ir: &DeviceIr, step: &PlanStep) -> bool {
-    let value_ok = |v: &PlanValue| !matches!(v, PlanValue::Arg(_));
+    let value_ok = |v: &PlanValue| match v {
+        PlanValue::Input | PlanValue::Const(_) => true,
+        PlanValue::Arg(_) => false,
+    };
     match step {
         PlanStep::Read(a) => {
             ir.reg(a.reg).slot.is_some() && matches!(a.offset, PlanOffset::Const(_))
@@ -49,6 +75,10 @@ fn step_emittable(ir: &DeviceIr, step: &PlanStep) -> bool {
         PlanStep::Write(a, c) => {
             ir.reg(a.reg).slot.is_some()
                 && matches!(a.offset, PlanOffset::Const(_))
+                && c.segs.iter().all(|ws| value_ok(&ws.value))
+        }
+        PlanStep::Store(slot, c) => {
+            matches!(slot, PlanSlot::Fixed(s) if ir.slot_owner(*s).is_some())
                 && c.segs.iter().all(|ws| value_ok(&ws.value))
         }
         PlanStep::SetCell { value, .. } => value_ok(value),
@@ -195,6 +225,99 @@ mod tests {
         if let Some(plan) = ir.strct(ir.struct_id("s").unwrap()).write_plan.as_deref() {
             assert!(!plan_emittable(&ir, plan));
         }
+    }
+
+    /// Audit: every `PlanStep` and `GuardSource` kind has an explicit
+    /// emittability verdict, exercised end to end through specs that
+    /// produce each kind. The matches in `step_emittable` and
+    /// `guard_emittable` are exhaustive (no `_` arm), so adding a step
+    /// or source kind breaks this crate's build until it is classified
+    /// — it can be rejected, but never silently mis-emitted.
+    #[test]
+    fn every_step_and_guard_kind_has_an_emit_verdict() {
+        use devil_ir::{GuardSource, PlanGuard, PlanStep};
+        // A spec producing Read, Write, Store and SetCell steps plus
+        // Slot- and Input-sourced guards, all emittable.
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..2}) {
+                 private variable pm : bool;
+                 register a = write base @ 0, set {pm = true} : bit[8];
+                 register c = write base @ 1 : bit[8];
+                 register r = read base @ 2 : bit[8];
+                 variable rv = r, volatile : int(8);
+                 variable t = a[1] : bool;
+                 variable resta = a[7..2] : int(6);
+                 variable restc = c[7..1] : int(7);
+                 variable q = c[0] : bool serialized as { if (t == true) c; };
+                 variable w = a[0] : bool serialized as { if (w == true) a; };
+               }"#,
+        );
+        let mut kinds = [false; 4]; // Read, Write, Store, SetCell
+        let mut sources = [false; 2]; // Slot, Input
+        let mut all_plans: Vec<&devil_ir::AccessPlan> = Vec::new();
+        for v in &ir.vars {
+            all_plans.extend(v.read_plan.as_deref());
+            all_plans.extend(v.write_plan.as_deref());
+        }
+        for plan in &all_plans {
+            assert!(plan_emittable(&ir, plan), "concrete-surface plans must emit");
+            for variant in &plan.variants {
+                for step in ir.variant_steps(variant) {
+                    match step {
+                        PlanStep::Read(_) => kinds[0] = true,
+                        PlanStep::Write(..) => kinds[1] = true,
+                        PlanStep::Store(..) => kinds[2] = true,
+                        PlanStep::SetCell { .. } => kinds[3] = true,
+                    }
+                }
+                for g in &variant.guards {
+                    match g.source {
+                        GuardSource::Slot(_) => sources[0] = true,
+                        GuardSource::Input => sources[1] = true,
+                        GuardSource::Cell(_) => panic!("no cell guard in this spec"),
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            kinds, [true; 4],
+            "spec must exercise every step kind (Read/Write/Store/SetCell)"
+        );
+        assert_eq!(sources, [true; 2], "spec must exercise Slot and Input guard sources");
+        // The remaining source kind, Cell, is the rejected one: a
+        // cell-guarded plan compiles for the interpreter but keeps the
+        // interpreter API in both emitters.
+        let cell_guard = PlanGuard { source: GuardSource::Cell(0), mask: u64::MAX, expected: 1 };
+        assert!(!guard_emittable(&ir, &cell_guard));
+        let slot_guard = PlanGuard {
+            source: GuardSource::Slot(ir.reg(ir.reg_id("a").unwrap()).slot.unwrap()),
+            mask: 1,
+            expected: 1,
+        };
+        assert!(guard_emittable(&ir, &slot_guard));
+        let input_guard = PlanGuard { source: GuardSource::Input, mask: 1, expected: 0 };
+        assert!(guard_emittable(&ir, &input_guard));
+    }
+
+    #[test]
+    fn cell_guarded_plans_keep_the_interpreter_api() {
+        // Mem-cell tested conditional: the plan compiles (the
+        // interpreter dispatches on it) but neither emitter renders it.
+        let ir = ir_for(
+            r#"device d (base : bit[8] port @ {0..1}) {
+                 private variable m : bool;
+                 register a = write base @ 0 : bit[8];
+                 register c = write base @ 1 : bit[8];
+                 variable resta = a[7..1] : int(7);
+                 variable restc = c[7..1] : int(7);
+                 variable w = c[0] # a[0] : int(2) serialized as { a; if (m == true) c; };
+               }"#,
+        );
+        let w = ir.var_id("w").unwrap();
+        let plan = ir.var(w).write_plan.as_deref().expect("cell-guarded plan compiles");
+        assert!(!plan_emittable(&ir, plan), "cell guards must be rejected, not mis-emitted");
+        let api = StubApi::of(&ir);
+        assert!(!api.writes_var(w));
     }
 
     #[test]

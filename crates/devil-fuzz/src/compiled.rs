@@ -168,7 +168,7 @@ pub fn commands(ir: &DeviceIr, api: &StubApi, ops: &[Op]) -> String {
                 let k = api.write_structs.iter().position(|s| s == sid).expect("filtered");
                 out.push_str(&format!("WS {k}"));
                 // Values in struct-field order, as the harness stages.
-                for &fid in &ir.strct(*sid).fields {
+                for &fid in ir.strct(*sid).fields.iter() {
                     let v = values.iter().find(|&&(f, _)| f == fid).expect("filtered").1;
                     out.push_str(&format!(" {v}"));
                 }
@@ -222,7 +222,7 @@ pub fn interp_observation(ir: &DeviceIr, ops: &[Op]) -> Vec<String> {
                     Err(e) => format!("O rs{} ERR {e:?}", sid.0),
                 });
                 if r.is_ok() {
-                    for &fid in &ir.strct(*sid).fields {
+                    for &fid in ir.strct(*sid).fields.iter() {
                         out.push(match inst.get_field_id(fid) {
                             Ok(v) => format!("O f{} {v}", fid.0),
                             Err(e) => format!("O f{} ERR {e:?}", fid.0),
@@ -232,7 +232,7 @@ pub fn interp_observation(ir: &DeviceIr, ops: &[Op]) -> Vec<String> {
             }
             Op::WriteStruct { sid, values } => {
                 let mut failed = None;
-                for &fid in &ir.strct(*sid).fields {
+                for &fid in ir.strct(*sid).fields.iter() {
                     let v = values.iter().find(|&&(f, _)| f == fid).expect("filtered").1;
                     if let Err(e) = inst.set_field_id(fid, v) {
                         failed = Some(format!("O ws{} ERR {e:?}", sid.0));
@@ -376,7 +376,7 @@ pub fn harness_c(ir: &DeviceIr, prefix: &str, api: &StubApi) -> String {
         let _ = writeln!(c, "            case {k}:");
         let _ = writeln!(c, "                {prefix}_get_{}();", st.name);
         let _ = writeln!(c, "                printf(\"O rs{} ok\\n\");", sid.0);
-        for &fid in &st.fields {
+        for &fid in st.fields.iter() {
             let _ = writeln!(
                 c,
                 "                printf(\"O f{} %llu\\n\", (unsigned long long)({prefix}_getf_{}()));",

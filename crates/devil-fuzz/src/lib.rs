@@ -17,6 +17,7 @@ use devil_runtime::{DeviceInstance, FakeAccess};
 use devil_sema::model::{Offset, StructId, VarId};
 
 pub mod compiled;
+pub mod synthetic;
 
 /// One operation against a device instance.
 #[derive(Clone, Debug)]
@@ -329,7 +330,7 @@ pub fn run(inst: &mut DeviceInstance, dev: &mut FakeAccess, ops: &[Op]) -> Vec<S
                 let r = inst.read_struct_id(dev, *sid);
                 obs.push(format!("read_struct {sid:?} -> {r:?}"));
                 if r.is_ok() {
-                    for &fid in &inst.ir().strct(*sid).fields.clone() {
+                    for &fid in inst.ir().strct(*sid).fields.clone().iter() {
                         obs.push(format!("  field {fid:?} -> {:?}", inst.get_field_id(fid)));
                     }
                 }

@@ -16,12 +16,15 @@ use devil_runtime::{DeviceInstance, FakeAccess};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
-/// The 8-spec library, lowered once.
+/// The 8-spec library plus the synthetic formerly-fallback specs
+/// (self-written tested, mem-cell tested, action-nested conditionals),
+/// lowered once. Every differential check below runs over all of them.
 fn irs() -> &'static Vec<(&'static str, DeviceIr)> {
     static IRS: OnceLock<Vec<(&'static str, DeviceIr)>> = OnceLock::new();
     IRS.get_or_init(|| {
         drivers::specs::ALL
             .iter()
+            .chain(devil_fuzz::synthetic::ALL)
             .map(|(name, src)| {
                 let model = devil_sema::check_source(src, &[]).expect("embedded spec checks");
                 (*name, devil_ir::lower(&model))
@@ -36,7 +39,11 @@ fn irs() -> &'static Vec<(&'static str, DeviceIr)> {
 fn coverage_sweep_agrees_on_all_devices() {
     for (name, ir) in irs() {
         let ops = sweep_ops(ir);
-        assert!(ops.len() > 4, "{name}: sweep generated {} ops", ops.len());
+        // Shipped specs sweep wide; the synthetic fallback shapes are
+        // deliberately tiny but must still produce real work.
+        let synthetic = devil_fuzz::synthetic::ALL.iter().any(|(n, _)| n == name);
+        let floor = if synthetic { 0 } else { 4 };
+        assert!(ops.len() > floor, "{name}: sweep generated {} ops", ops.len());
         if let Err(e) = check_equivalence(ir, &ops) {
             panic!("{name}: fast and general paths diverge on the sweep\n{e}");
         }
@@ -106,6 +113,74 @@ fn conditional_writes_take_guarded_variants_in_fast_mode() {
     let stats = inst.plan_stats();
     assert_eq!(stats.guarded, 4, "every conditional flush takes a guarded variant: {stats:?}");
     assert_eq!(stats.general, 0, "no general fallback in fast mode: {stats:?}");
+}
+
+/// Lowering records a loud fallback for every access that keeps the
+/// general interpreter; the shipped library and the synthetic shapes
+/// record none — the whole expressible surface is plan-backed.
+#[test]
+fn no_spec_records_a_plan_fallback() {
+    for (name, ir) in irs() {
+        assert!(
+            ir.plan_fallbacks().is_empty(),
+            "{name}: accesses fell back to the general interpreter: {:?}",
+            ir.plan_fallbacks()
+        );
+    }
+}
+
+/// The formerly-fallback shapes dispatch entirely on plans: no access
+/// in an in-range workload touches the general interpreter, and the
+/// lowerer records zero fallbacks for any synthetic spec.
+#[test]
+fn formerly_fallback_specs_dispatch_on_plans() {
+    for (name, src) in devil_fuzz::synthetic::ALL {
+        let model = devil_sema::check_source(src, &[]).expect("synthetic spec checks");
+        let ir = devil_ir::lower(&model);
+        assert!(
+            ir.plan_fallbacks().is_empty(),
+            "{name}: unexpected fallbacks {:?}",
+            ir.plan_fallbacks()
+        );
+        // An in-range workload: every plain variable written (masked to
+        // its width) and read, every structure flushed across 0/1 field
+        // values — the fallback shapes' whole concrete surface.
+        let mut ops: Vec<Op> = Vec::new();
+        for round in 0..4u64 {
+            for vi in 0..ir.vars.len() as u32 {
+                let vid = devil_sema::model::VarId(vi);
+                let var = ir.var(vid);
+                if !var.params.is_empty() {
+                    continue;
+                }
+                if var.writable {
+                    let mask = if var.width >= 64 { u64::MAX } else { (1 << var.width) - 1 };
+                    ops.push(Op::WriteVar { vid, args: vec![], value: (round + vi as u64) & mask });
+                }
+                if var.readable {
+                    ops.push(Op::ReadVar { vid, args: vec![] });
+                }
+            }
+            for si in 0..ir.structs.len() as u32 {
+                let sid = devil_sema::model::StructId(si);
+                let values: Vec<_> = ir
+                    .strct(sid)
+                    .fields
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &fid)| (fid, (round >> (k % 2)) & 1))
+                    .collect();
+                ops.push(Op::WriteStruct { sid, values });
+            }
+        }
+        let mut inst = DeviceInstance::new(ir.clone());
+        let mut dev = FakeAccess::new();
+        devil_fuzz::run(&mut inst, &mut dev, &ops);
+        let stats = inst.plan_stats();
+        assert_eq!(stats.general, 0, "{name}: general dispatches in fast mode: {stats:?}");
+        assert!(stats.straight + stats.guarded > 0, "{name}: workload hit no plans: {stats:?}");
+        check_equivalence(&ir, &ops).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
 }
 
 proptest! {

@@ -43,8 +43,11 @@ pub struct PlanStats {
     /// serialization on the fast path).
     pub guarded: u64,
     /// Accesses handled by the general interpreter: no compiled plan,
-    /// plans disabled, debug checks on, depth-gated fallbacks, or
-    /// memory-cell variables (which need no plan).
+    /// plans disabled, debug checks on, depth-gated fallbacks, or a
+    /// memory cell holding a value outside its variable's raw space
+    /// (cells store unmasked, so a cell-guarded selection can miss).
+    /// Memory-cell variables themselves dispatch on (trivial) plans
+    /// and count as `straight`.
     pub general: u64,
 }
 
@@ -271,11 +274,16 @@ impl DeviceInstance {
         if self.fast_plans && !self.checks {
             let DeviceInstance { ir, slots, slot_valid, mem, stats, .. } = &mut *self;
             let var = ir.var(vid);
-            if let (Some(plan), None) = (&var.read_plan, &var.mem_cell) {
+            if let Some(plan) = &var.read_plan {
                 if var.params.len() == args.len()
                     && var.params.iter().zip(args).all(|(p, &a)| p.contains(a))
                 {
-                    if let Some(variant) = plan.select_variant(slots, slot_valid) {
+                    // Memory cells serve directly — no steps, no guards.
+                    if let Some(cell) = plan.cell {
+                        stats.straight += 1;
+                        return Ok(mem[cell]);
+                    }
+                    if let Some(variant) = plan.select_variant(slots, slot_valid, mem, 0) {
                         let serve_cached = !var.behavior.volatile && !var.behavior.read_trigger;
                         if !(serve_cached
                             && plan.assemble.iter().all(|(s, _)| slot_valid[s.resolve(args)]))
@@ -306,22 +314,26 @@ impl DeviceInstance {
         }
         self.validate_args(vid, args)?;
         self.stats.general += 1;
-        let var = self.ir.var(vid).clone();
+        let var = self.ir.var(vid);
         if let Some(cell) = var.mem_cell {
             return Ok(self.mem[cell]);
         }
         if !var.readable {
             return Err(RtError::NotReadable(var.name.clone()));
         }
+        let behavior = var.behavior;
+        // Arc handle on the order: the general path takes a reference
+        // bump per access, never a `VarIr` deep copy.
+        let read_order = var.read_order.clone();
         // Idempotent variables can be served from the cache when every
         // backing register has a cached value.
-        if !var.behavior.volatile && !var.behavior.read_trigger {
+        if !behavior.volatile && !behavior.read_trigger {
             if let Some(v) = self.try_assemble_cached(vid, args) {
-                return self.checked_read(&var.name, &var.ty, v);
+                return self.checked_read(vid, v);
             }
         }
         let mut order = self.pop_order_buf();
-        let mut res = self.plan_regs_into(&var.read_order, &mut order);
+        let mut res = self.plan_regs_into(&read_order, &mut order);
         if res.is_ok() {
             for &rid in &order {
                 let reg_args = self.args_for_reg(vid, rid, args);
@@ -334,7 +346,7 @@ impl DeviceInstance {
         self.push_order_buf(order);
         res?;
         let v = self.assemble_cached(vid, args);
-        self.checked_read(&var.name, &var.ty, v)
+        self.checked_read(vid, v)
     }
 
     /// Writes a variable by id.
@@ -369,10 +381,15 @@ impl DeviceInstance {
         let DeviceInstance { ir, slots, slot_valid, mem, stats, .. } = &mut *self;
         let var = ir.var(vid);
         let Some(plan) = &var.write_plan else { return false };
-        if var.mem_cell.is_some() || depth.saturating_add(plan.max_depth) > MAX_DEPTH {
+        if depth.saturating_add(plan.max_depth) > MAX_DEPTH {
             return false;
         }
-        let Some(variant) = plan.select_variant(slots, slot_valid) else { return false };
+        // Input-sourced guards see the caller's value (store-then-
+        // evaluate order); cell-guarded selection can miss on
+        // out-of-range cell values, falling back to the general path.
+        let Some(variant) = plan.select_variant(slots, slot_valid, mem, value) else {
+            return false;
+        };
         exec_plan_steps(dev, slots, slot_valid, mem, ir.variant_steps(variant), args, value);
         if variant.guards.is_empty() {
             stats.straight += 1;
@@ -399,25 +416,31 @@ impl DeviceInstance {
             return Ok(());
         }
         self.stats.general += 1;
-        let var = self.ir.var(vid).clone();
+        let var = self.ir.var(vid);
         if depth > MAX_DEPTH {
             return Err(RtError::RecursionLimit(var.name.clone()));
         }
         if self.checks && !var.ty.valid_write(value) {
             return Err(RtError::ValueRange { var: var.name.clone(), value });
         }
-        if let Some(cell) = var.mem_cell {
+        let mem_cell = var.mem_cell;
+        let writable = var.writable;
+        // Arc handles on the order and action list: a general write
+        // takes two reference bumps, never a `VarIr` deep copy.
+        let set = var.set.clone();
+        let write_order = var.write_order.clone();
+        if let Some(cell) = mem_cell {
             self.mem[cell] = value;
-            return self.run_actions(dev, &var.set, args, depth + 1);
+            return self.run_actions(dev, &set, args, depth + 1);
         }
-        if !var.writable {
-            return Err(RtError::NotWritable(var.name.clone()));
+        if !writable {
+            return Err(RtError::NotWritable(self.ir.var(vid).name.clone()));
         }
         // Update the cache with the new bits first so composition and
         // condition evaluation see the written value.
         self.store_var_bits(vid, args, value);
         let mut order = self.pop_order_buf();
-        let mut res = self.plan_regs_into(&var.write_order, &mut order);
+        let mut res = self.plan_regs_into(&write_order, &mut order);
         if res.is_ok() {
             for &rid in &order {
                 let reg_args = self.args_for_reg(vid, rid, args);
@@ -430,7 +453,7 @@ impl DeviceInstance {
         }
         self.push_order_buf(order);
         res?;
-        self.run_actions(dev, &var.set, args, depth + 1)
+        self.run_actions(dev, &set, args, depth + 1)
     }
 
     // ---- structures ----
@@ -450,7 +473,7 @@ impl DeviceInstance {
         if self.fast_plans && !self.checks {
             let DeviceInstance { ir, slots, slot_valid, mem, stats, .. } = &mut *self;
             if let Some(plan) = &ir.strct(sid).read_plan {
-                if let Some(variant) = plan.select_variant(slots, slot_valid) {
+                if let Some(variant) = plan.select_variant(slots, slot_valid, mem, 0) {
                     exec_plan_steps(dev, slots, slot_valid, mem, ir.variant_steps(variant), &[], 0);
                     if variant.guards.is_empty() {
                         stats.straight += 1;
@@ -499,10 +522,8 @@ impl DeviceInstance {
                 return Ok(v);
             }
         }
-        let ty = var.ty.clone();
-        let vname = var.name.clone();
         let v = self.assemble_cached(vid, &[]);
-        self.checked_read(&vname, &ty, v)
+        self.checked_read(vid, v)
     }
 
     /// Gets a signed structure field from the cache.
@@ -566,7 +587,7 @@ impl DeviceInstance {
             let DeviceInstance { ir, slots, slot_valid, mem, stats, .. } = &mut *self;
             if let Some(plan) = &ir.strct(sid).write_plan {
                 if depth.saturating_add(plan.max_depth) <= MAX_DEPTH {
-                    if let Some(variant) = plan.select_variant(slots, slot_valid) {
+                    if let Some(variant) = plan.select_variant(slots, slot_valid, mem, 0) {
                         exec_plan_steps(
                             dev,
                             slots,
@@ -587,12 +608,16 @@ impl DeviceInstance {
             }
         }
         self.stats.general += 1;
-        let st = self.ir.strct(sid).clone();
+        let st = self.ir.strct(sid);
         if depth > MAX_DEPTH {
             return Err(RtError::RecursionLimit(st.name.clone()));
         }
+        // Arc handles: a general struct flush takes two reference
+        // bumps, never a `StructIr` deep copy.
+        let write_order = st.write_order.clone();
+        let fields = st.fields.clone();
         let mut order = self.pop_order_buf();
-        let mut res = self.plan_regs_into(&st.write_order, &mut order);
+        let mut res = self.plan_regs_into(&write_order, &mut order);
         if res.is_ok() {
             for &rid in &order {
                 let raw = self.compose(rid, &[], WriteMode::All);
@@ -604,8 +629,8 @@ impl DeviceInstance {
         }
         self.push_order_buf(order);
         res?;
-        // Field-level `set` actions run after the flush.
-        for &fid in &st.fields {
+        // Field-level `set` actions run after the flush (Arc handles).
+        for &fid in fields.iter() {
             let actions = self.ir.var(fid).set.clone();
             self.run_actions(dev, &actions, &[], depth + 1)?;
         }
@@ -623,12 +648,12 @@ impl DeviceInstance {
     ) -> RtResult<()> {
         let vid = self.var_id(name)?;
         let (rid, binding_offset, width) = self.block_target(vid, /*write=*/ false)?;
-        let reg = self.ir.reg(rid).clone();
-        self.run_actions(dev, &reg.pre.clone(), &[], 1)?;
-        let port = reg.read.as_ref().expect("block_target checked readability").port;
+        let (pre, post, set) = self.reg_actions(rid);
+        self.run_actions(dev, &pre, &[], 1)?;
+        let port = self.ir.reg(rid).read.as_ref().expect("block_target checked readability").port;
         dev.read_block(port.0 as usize, binding_offset, width, buf);
-        self.run_actions(dev, &reg.post.clone(), &[], 1)?;
-        self.run_actions(dev, &reg.set.clone(), &[], 1)?;
+        self.run_actions(dev, &post, &[], 1)?;
+        self.run_actions(dev, &set, &[], 1)?;
         Ok(())
     }
 
@@ -641,12 +666,12 @@ impl DeviceInstance {
     ) -> RtResult<()> {
         let vid = self.var_id(name)?;
         let (rid, binding_offset, width) = self.block_target(vid, /*write=*/ true)?;
-        let reg = self.ir.reg(rid).clone();
-        self.run_actions(dev, &reg.pre.clone(), &[], 1)?;
-        let port = reg.write.as_ref().expect("block_target checked writability").port;
+        let (pre, post, set) = self.reg_actions(rid);
+        self.run_actions(dev, &pre, &[], 1)?;
+        let port = self.ir.reg(rid).write.as_ref().expect("block_target checked writability").port;
         dev.write_block(port.0 as usize, binding_offset, width, buf);
-        self.run_actions(dev, &reg.post.clone(), &[], 1)?;
-        self.run_actions(dev, &reg.set.clone(), &[], 1)?;
+        self.run_actions(dev, &post, &[], 1)?;
+        self.run_actions(dev, &set, &[], 1)?;
         Ok(())
     }
 
@@ -694,9 +719,15 @@ impl DeviceInstance {
         Ok(())
     }
 
-    fn checked_read(&self, name: &str, ty: &TypeSem, v: u64) -> RtResult<u64> {
-        if self.checks && !ty.valid_read(v) {
-            return Err(RtError::BadPattern { var: name.into(), raw: v });
+    /// Validates a read value against the variable's type when debug
+    /// checks are on. Borrows the IR in place — no name or type clone
+    /// on the hot general path.
+    fn checked_read(&self, vid: VarId, v: u64) -> RtResult<u64> {
+        if self.checks {
+            let var = self.ir.var(vid);
+            if !var.ty.valid_read(v) {
+                return Err(RtError::BadPattern { var: var.name.clone(), raw: v });
+            }
         }
         Ok(v)
     }
@@ -1014,6 +1045,19 @@ fn exec_plan_steps(
                     a.size,
                     (raw & c.out_and) | c.out_or,
                 );
+                slots[slot] = raw;
+                slot_valid[slot] = true;
+            }
+            PlanStep::Store(slot, c) => {
+                // Cache-only store: a written variable's bits on a
+                // register the flattened order does not flush (the
+                // general path's up-front `store_var_bits`).
+                let slot = slot.resolve(args);
+                let cached = if slot_valid[slot] { slots[slot] } else { 0 };
+                let mut raw = (cached & c.keep_and) | c.const_or;
+                for ws in &c.segs {
+                    raw |= ws.seg.insert(ws.value.resolve(args, input));
+                }
                 slots[slot] = raw;
                 slot_valid[slot] = true;
             }
