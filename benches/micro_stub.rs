@@ -247,6 +247,18 @@ fn bench_micro(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    // Batch-compile throughput over a mutant-corpus sample, fanned out
+    // across all cores (the scheme the full ~145k-mutant CI sweep
+    // uses). Recorded as specs/sec rather than ns/iter: the corpus is
+    // compiled once, not looped.
+    let corpus = devil_fuzz::corpus::sampled_corpus(4);
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let t = std::time::Instant::now();
+    let verdicts = devil_fuzz::corpus::compile_batch(&corpus, workers);
+    let dt = t.elapsed().as_secs_f64();
+    assert_eq!(verdicts.len(), corpus.len());
+    criterion::record_value("micro_stub/compile_throughput", corpus.len() as f64 / dt);
 }
 
 criterion_group!(benches, bench_micro);

@@ -79,6 +79,15 @@ pub fn write_json_results() {
     }
 }
 
+/// Records an already-measured scalar under a `group/bench` id — for
+/// benches whose metric is not time per iteration (ops/sec, latency
+/// percentiles). The value lands in the same `BENCH_JSON` output as
+/// timed results, under the id's group.
+pub fn record_value(id: &str, value: f64) {
+    println!("{id:<40} value: {value:.1}");
+    RESULTS.lock().unwrap_or_else(|e| e.into_inner()).push((id.to_string(), value));
+}
+
 /// Top-level harness handle, mirroring `criterion::Criterion`.
 pub struct Criterion {
     /// When true (``--test`` mode under `cargo test`), run each

@@ -1,0 +1,91 @@
+//! The fleet determinism gate.
+//!
+//! A sharded fleet must be a pure reorganization of work: merged
+//! ledger totals, per-instance final ledgers and interpreter
+//! snapshots, plan-dispatch counters, and unit counts are exactly
+//! equal to a single-threaded replay, for any shard count. Latency
+//! percentiles are excluded — they measure queueing, which depends on
+//! sharding by design.
+
+use devil_fleet::{run_fleet_with, FleetConfig, Mix, SharedIrs, WorkloadKind};
+use std::collections::HashSet;
+
+fn cfg(mix: Mix, shards: usize, instances: usize) -> FleetConfig {
+    let mut c = FleetConfig::new(mix);
+    c.shards = shards;
+    c.instances = instances;
+    c.units_per_instance = 12;
+    c
+}
+
+#[test]
+fn sharded_fleet_replays_single_threaded_exactly() {
+    let irs = SharedIrs::compile();
+    let single = run_fleet_with(&cfg(Mix::all_specs(), 1, 32), &irs);
+    for shards in [2, 4, 7] {
+        let sharded = run_fleet_with(&cfg(Mix::all_specs(), shards, 32), &irs);
+        sharded.assert_replay_equivalent(&single);
+    }
+}
+
+#[test]
+fn every_mix_is_shard_count_independent() {
+    let irs = SharedIrs::compile();
+    for mix in [Mix::interactive(), Mix::storage(), Mix::comms()] {
+        let single = run_fleet_with(&cfg(mix, 1, 24), &irs);
+        let sharded = run_fleet_with(&cfg(mix, 3, 24), &irs);
+        sharded.assert_replay_equivalent(&single);
+    }
+}
+
+#[test]
+fn same_config_is_bit_identical_including_latencies() {
+    let irs = SharedIrs::compile();
+    let a = run_fleet_with(&cfg(Mix::all_specs(), 2, 24), &irs);
+    let b = run_fleet_with(&cfg(Mix::all_specs(), 2, 24), &irs);
+    a.assert_replay_equivalent(&b);
+    // Same shard count: even the queueing-dependent numbers replay.
+    assert_eq!(a.sim_makespan_ns, b.sim_makespan_ns);
+    assert_eq!((a.p50_ns, a.p99_ns, a.p999_ns), (b.p50_ns, b.p99_ns, b.p999_ns));
+}
+
+#[test]
+fn fleet_wide_general_interpreter_count_is_zero() {
+    let irs = SharedIrs::compile();
+    let r = run_fleet_with(&cfg(Mix::all_specs(), 2, 64), &irs);
+    // The coverage mix must actually exercise all eight specs.
+    let kinds: HashSet<WorkloadKind> = r.finals.iter().map(|f| f.kind).collect();
+    assert_eq!(kinds.len(), WorkloadKind::ALL.len(), "all workload kinds spawned: {kinds:?}");
+    assert!(r.stats.straight > 0, "fleet must dispatch on straight-line plans");
+    assert!(r.stats.guarded > 0, "fleet must dispatch on guard-split variants");
+    assert_eq!(r.stats.general, 0, "no general-interpreter fallback anywhere: {:?}", r.stats);
+    assert_eq!(r.units, 64 * 12);
+    assert!(r.ledger.io_ops() > 0, "merged ledger saw the fleet's I/O");
+}
+
+#[test]
+fn sharding_scales_simulated_throughput() {
+    let irs = SharedIrs::compile();
+    let one = run_fleet_with(&cfg(Mix::all_specs(), 1, 32), &irs);
+    let four = run_fleet_with(&cfg(Mix::all_specs(), 4, 32), &irs);
+    assert!(
+        four.sim_ops_per_s > 2.0 * one.sim_ops_per_s,
+        "4 shards must beat 1 shard well past 2×: {} vs {}",
+        four.sim_ops_per_s,
+        one.sim_ops_per_s
+    );
+    assert!(four.sim_makespan_ns < one.sim_makespan_ns);
+}
+
+#[test]
+fn checkpoint_cadence_does_not_change_totals() {
+    let irs = SharedIrs::compile();
+    let mut every_unit = cfg(Mix::storage(), 2, 16);
+    every_unit.checkpoint_every_units = 1;
+    let mut only_final = cfg(Mix::storage(), 2, 16);
+    only_final.checkpoint_every_units = 0;
+    let a = run_fleet_with(&every_unit, &irs);
+    let b = run_fleet_with(&only_final, &irs);
+    a.assert_replay_equivalent(&b);
+    assert!(a.checkpoints > b.checkpoints);
+}

@@ -17,6 +17,7 @@ use devil_runtime::{DeviceInstance, FakeAccess};
 use devil_sema::model::{Offset, StructId, VarId};
 
 pub mod compiled;
+pub mod corpus;
 pub mod synthetic;
 
 /// One operation against a device instance.

@@ -54,6 +54,90 @@ pub struct PlanStats {
 /// A register's pre/post/set action lists, shared by `Arc` handle.
 type ActionLists = (Arc<[Action]>, Arc<[Action]>, Arc<[Action]>);
 
+/// Family-argument tuples stay this small in every shipped spec, so the
+/// argument buffers and hashed-fallback cache keys never touch the heap
+/// in the common case.
+const ARG_INLINE: usize = 4;
+
+/// A small-vector argument buffer. Doubles as the family-cache key:
+/// hashing and equality see only the live slice, so an inline buffer
+/// and a spilled one holding the same arguments compare equal.
+#[derive(Clone, Debug)]
+enum ArgBuf {
+    Inline { len: u8, buf: [u64; ARG_INLINE] },
+    Heap(Vec<u64>),
+}
+
+impl ArgBuf {
+    fn new() -> Self {
+        ArgBuf::Inline { len: 0, buf: [0; ARG_INLINE] }
+    }
+
+    fn from_slice(args: &[u64]) -> Self {
+        if args.len() <= ARG_INLINE {
+            let mut buf = [0; ARG_INLINE];
+            buf[..args.len()].copy_from_slice(args);
+            ArgBuf::Inline { len: args.len() as u8, buf }
+        } else {
+            ArgBuf::Heap(args.to_vec())
+        }
+    }
+
+    fn push(&mut self, v: u64) {
+        match self {
+            ArgBuf::Inline { len, buf } => {
+                if (*len as usize) < ARG_INLINE {
+                    buf[*len as usize] = v;
+                    *len += 1;
+                } else {
+                    let mut heap = buf.to_vec();
+                    heap.push(v);
+                    *self = ArgBuf::Heap(heap);
+                }
+            }
+            ArgBuf::Heap(heap) => heap.push(v),
+        }
+    }
+
+    fn as_slice(&self) -> &[u64] {
+        match self {
+            ArgBuf::Inline { len, buf } => &buf[..*len as usize],
+            ArgBuf::Heap(heap) => heap,
+        }
+    }
+}
+
+impl std::ops::Deref for ArgBuf {
+    type Target = [u64];
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for ArgBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ArgBuf {}
+
+impl std::hash::Hash for ArgBuf {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl FromIterator<u64> for ArgBuf {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut buf = ArgBuf::new();
+        for v in iter {
+            buf.push(v);
+        }
+        buf
+    }
+}
+
 /// How a register write composes values for variables other than the one
 /// being written.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -75,7 +159,10 @@ enum WriteMode {
 /// exceeds the lowerer's slot cap fall back to a hash map keyed by
 /// their argument tuple.
 pub struct DeviceInstance {
-    ir: DeviceIr,
+    /// The immutable compiled part — IR, plan arena, name tables —
+    /// shared by handle so a fleet of instances over one spec pays for
+    /// compilation once and spawning is O(slots).
+    ir: Arc<DeviceIr>,
     /// Flat cache: one raw value per register instance.
     slots: Vec<u64>,
     /// Which flat slots hold a value (a register never accessed has no
@@ -83,7 +170,7 @@ pub struct DeviceInstance {
     slot_valid: Vec<bool>,
     /// Hashed fallback for family registers whose domain exceeds the
     /// flat-slot cap.
-    family_cache: HashMap<(u32, Vec<u64>), u64>,
+    family_cache: HashMap<(u32, ArgBuf), u64>,
     /// Private memory cells.
     mem: Vec<u64>,
     /// Whether debug-mode run-time checks are enabled.
@@ -100,9 +187,37 @@ pub struct DeviceInstance {
     order_pool: Vec<Vec<RegId>>,
 }
 
+/// A checkpoint of an instance's mutable state: flat cache slots,
+/// hashed family fallback, memory cells and dispatch counters. Taking
+/// one is O(slots); the shared IR is not copied. Fleet harnesses
+/// compare snapshots across shard counts to prove determinism.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InstanceSnapshot {
+    slots: Vec<u64>,
+    slot_valid: Vec<bool>,
+    family_cache: HashMap<(u32, ArgBuf), u64>,
+    mem: Vec<u64>,
+    stats: PlanStats,
+}
+
+/// Instances hold only owned state plus an `Arc` of the immutable IR,
+/// so a fleet harness can move them into shard worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DeviceInstance>();
+    assert_send_sync::<InstanceSnapshot>();
+};
+
 impl DeviceInstance {
     /// Creates an instance over lowered IR with checks disabled.
     pub fn new(ir: DeviceIr) -> Self {
+        Self::with_shared_ir(Arc::new(ir))
+    }
+
+    /// Creates an instance over an already-shared IR handle: the
+    /// fleet-spawning path. Compilation cost is paid once per spec; each
+    /// further instance allocates only its slot cache and memory cells.
+    pub fn with_shared_ir(ir: Arc<DeviceIr>) -> Self {
         let mem = vec![0; ir.mem_cells];
         let slots = vec![0; ir.cache_slots];
         let slot_valid = vec![false; ir.cache_slots];
@@ -117,6 +232,35 @@ impl DeviceInstance {
             stats: PlanStats::default(),
             order_pool: Vec::new(),
         }
+    }
+
+    /// A new handle to the shared immutable IR.
+    pub fn shared_ir(&self) -> Arc<DeviceIr> {
+        Arc::clone(&self.ir)
+    }
+
+    /// Captures the mutable state (cache, cells, counters) for later
+    /// [`DeviceInstance::restore`] or cross-run comparison.
+    pub fn snapshot(&self) -> InstanceSnapshot {
+        InstanceSnapshot {
+            slots: self.slots.clone(),
+            slot_valid: self.slot_valid.clone(),
+            family_cache: self.family_cache.clone(),
+            mem: self.mem.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Restores state captured by [`DeviceInstance::snapshot`]. The
+    /// snapshot must come from an instance of the same IR.
+    pub fn restore(&mut self, snap: &InstanceSnapshot) {
+        assert_eq!(snap.slots.len(), self.slots.len(), "snapshot from a different IR");
+        assert_eq!(snap.mem.len(), self.mem.len(), "snapshot from a different IR");
+        self.slots.copy_from_slice(&snap.slots);
+        self.slot_valid.copy_from_slice(&snap.slot_valid);
+        self.family_cache.clone_from(&snap.family_cache);
+        self.mem.copy_from_slice(&snap.mem);
+        self.stats = snap.stats;
     }
 
     /// Enables or disables debug-mode run-time checks (the paper's
@@ -745,7 +889,9 @@ impl DeviceInstance {
         if let Some(slot) = reg.family_slots.as_ref().and_then(|f| f.slot_of(args)) {
             return self.slot_valid[slot].then(|| self.slots[slot]);
         }
-        self.family_cache.get(&(rid.0, args.to_vec())).copied()
+        // Inline key: a hashed-fallback hit costs hashing but no heap
+        // allocation (arguments spill only past `ARG_INLINE`).
+        self.family_cache.get(&(rid.0, ArgBuf::from_slice(args))).copied()
     }
 
     /// Caches a register instance's raw value.
@@ -757,11 +903,11 @@ impl DeviceInstance {
             self.slot_valid[slot] = true;
             return;
         }
-        self.family_cache.insert((rid.0, args.to_vec()), raw);
+        self.family_cache.insert((rid.0, ArgBuf::from_slice(args)), raw);
     }
 
     /// The family args used by variable `vid` for register `rid`.
-    fn args_for_reg(&self, vid: VarId, rid: RegId, var_args: &[u64]) -> Vec<u64> {
+    fn args_for_reg(&self, vid: VarId, rid: RegId, var_args: &[u64]) -> ArgBuf {
         let var = self.ir.var(vid);
         for seg in &var.segs {
             if seg.reg == rid {
@@ -775,7 +921,7 @@ impl DeviceInstance {
                     .collect();
             }
         }
-        Vec::new()
+        ArgBuf::new()
     }
 
     /// Flattens a serialization plan to register ids, evaluating
@@ -819,7 +965,7 @@ impl DeviceInstance {
         }
         let mut v = 0u64;
         for seg in &var.segs {
-            let reg_args: Vec<u64> = seg
+            let reg_args: ArgBuf = seg
                 .args
                 .iter()
                 .map(|a| match a {
@@ -840,7 +986,7 @@ impl DeviceInstance {
             return Some(self.mem[cell]);
         }
         for seg in &var.segs {
-            let reg_args: Vec<u64> = seg
+            let reg_args: ArgBuf = seg
                 .args
                 .iter()
                 .map(|a| match a {
@@ -862,7 +1008,7 @@ impl DeviceInstance {
         }
         for i in 0..self.ir.var(vid).segs.len() {
             let seg = self.ir.var(vid).segs[i].clone();
-            let reg_args: Vec<u64> = seg
+            let reg_args: ArgBuf = seg
                 .args
                 .iter()
                 .map(|a| match a {
@@ -1675,5 +1821,66 @@ mod tests {
         assert_eq!(d.read_sym(&mut dev, "mode").unwrap(), "FAST");
         dev.preset(0, 0, 0);
         assert_eq!(d.read_sym(&mut dev, "mode").unwrap(), "SLOW");
+    }
+
+    #[test]
+    fn shared_ir_spawns_independent_instances() {
+        let first = instance(
+            r#"device d (base : bit[8] port @ {0..0}) {
+                 register r = base @ 0 : bit[8];
+                 variable v = r : int(8);
+               }"#,
+        );
+        let ir = first.shared_ir();
+        let mut a = DeviceInstance::with_shared_ir(Arc::clone(&ir));
+        let mut b = DeviceInstance::with_shared_ir(ir);
+        let mut dev_a = FakeAccess::new();
+        let mut dev_b = FakeAccess::new();
+        a.write(&mut dev_a, "v", 0x11).unwrap();
+        b.write(&mut dev_b, "v", 0x22).unwrap();
+        // Cache state is per instance; the IR is one shared allocation.
+        assert_eq!(a.read(&mut dev_a, "v").unwrap(), 0x11);
+        assert_eq!(b.read(&mut dev_b, "v").unwrap(), 0x22);
+        assert!(Arc::ptr_eq(&a.shared_ir(), &b.shared_ir()));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_mutable_state() {
+        let mut d = instance(
+            r#"device d (base : bit[8] port @ {0..0}) {
+                 register r = base @ 0, set {p = v} : bit[8];
+                 variable v = r : int(8);
+                 private variable p : int(8);
+               }"#,
+        );
+        let mut dev = FakeAccess::new();
+        d.write(&mut dev, "v", 0x5a).unwrap();
+        d.write(&mut dev, "p", 0x3).unwrap();
+        let snap = d.snapshot();
+        d.write(&mut dev, "v", 0x99).unwrap();
+        d.write(&mut dev, "p", 0x7).unwrap();
+        assert_ne!(d.snapshot(), snap);
+        d.restore(&snap);
+        assert_eq!(d.snapshot(), snap);
+        // Restored cache serves the old value without touching the bus.
+        let ops = dev.ops();
+        assert_eq!(d.read(&mut dev, "v").unwrap(), 0x5a);
+        assert_eq!(d.read(&mut dev, "p").unwrap(), 0x3);
+        assert_eq!(dev.ops(), ops);
+    }
+
+    #[test]
+    fn arg_buf_spills_past_inline_capacity() {
+        let mut buf = ArgBuf::new();
+        for i in 0..(ARG_INLINE as u64 + 2) {
+            buf.push(i);
+        }
+        assert_eq!(buf.len(), ARG_INLINE + 2);
+        assert_eq!(buf[ARG_INLINE + 1], ARG_INLINE as u64 + 1);
+        let other = ArgBuf::from_slice(buf.as_slice());
+        assert_eq!(buf, other);
+        let inline = ArgBuf::from_slice(&[1, 2]);
+        assert!(matches!(inline, ArgBuf::Inline { .. }));
+        assert!(matches!(other, ArgBuf::Heap(_)));
     }
 }

@@ -35,4 +35,4 @@ pub mod interp;
 
 pub use access::{DeviceAccess, FakeAccess, MappedPort, PortMap, Space};
 pub use error::{RtError, RtResult};
-pub use interp::{sign_extend, DeviceInstance, PlanStats};
+pub use interp::{sign_extend, DeviceInstance, InstanceSnapshot, PlanStats};

@@ -81,7 +81,12 @@ pub struct DevilBusmouse {
 impl DevilBusmouse {
     /// Compiles the embedded specification and binds it at `base`.
     pub fn new(base: u64) -> Self {
-        let dev = crate::specs::instance(crate::specs::BUSMOUSE);
+        Self::with_instance(base, crate::specs::instance(crate::specs::BUSMOUSE))
+    }
+
+    /// Binds an already-built interpreter instance at `base` — the
+    /// fleet-spawning path, where one shared IR backs many drivers.
+    pub fn with_instance(base: u64, dev: DeviceInstance) -> Self {
         let ir = dev.ir();
         let mouse_state = ir.struct_id("mouse_state").expect("spec exports mouse_state");
         let dx = ir.var_id("dx").expect("spec exports dx");
@@ -98,6 +103,11 @@ impl DevilBusmouse {
     /// Plan-dispatch counters of the underlying interpreter.
     pub fn plan_stats(&self) -> devil_runtime::PlanStats {
         self.dev.plan_stats()
+    }
+
+    /// The underlying interpreter instance (fleet snapshotting).
+    pub fn instance(&self) -> &DeviceInstance {
+        &self.dev
     }
 
     fn ports<'b>(&self, bus: &'b mut Bus) -> PortMap<'b> {

@@ -170,13 +170,22 @@ pub struct DevilIde {
 impl DevilIde {
     /// Compiles the embedded `ide` and `piix4ide` specifications.
     pub fn new(base: u64) -> Self {
-        let ide = crate::specs::instance(crate::specs::IDE);
+        Self::with_instances(
+            base,
+            crate::specs::instance(crate::specs::IDE),
+            crate::specs::instance(crate::specs::PIIX4),
+        )
+    }
+
+    /// Binds already-built `ide` and `piix4ide` interpreter instances at
+    /// `base` — the fleet-spawning path, where one shared IR per spec
+    /// backs many drivers.
+    pub fn with_instances(base: u64, ide: DeviceInstance, bm: DeviceInstance) -> Self {
         let data16 = ide.var_id("Ide_data").expect("spec exports Ide_data");
         let data32 = ide.var_id("Ide_data32").expect("spec exports Ide_data32");
         let drq = ide.var_id("drq").expect("spec exports drq");
         let err = ide.var_id("err").expect("spec exports err");
         let bsy = ide.var_id("bsy").expect("spec exports bsy");
-        let bm = crate::specs::instance(crate::specs::PIIX4);
         let prd_addr = bm.var_id("prd_addr").expect("spec exports prd_addr");
         let bm_dir = bm.var_id("bm_dir").expect("spec exports bm_dir");
         let bm_start = bm.var_id("bm_start").expect("spec exports bm_start");
@@ -209,6 +218,17 @@ impl DevilIde {
     /// UDMA setup/poll/teardown must run on precompiled plans).
     pub fn bm_plan_stats(&self) -> devil_runtime::PlanStats {
         self.bm.plan_stats()
+    }
+
+    /// Plan-dispatch counters of the IDE task-file interface.
+    pub fn ide_plan_stats(&self) -> devil_runtime::PlanStats {
+        self.ide.plan_stats()
+    }
+
+    /// The underlying interpreter instances, `(ide, piix4ide)` (fleet
+    /// snapshotting).
+    pub fn instances(&self) -> (&DeviceInstance, &DeviceInstance) {
+        (&self.ide, &self.bm)
     }
 
     fn ide_ports<'b>(&self, bus: &'b mut Bus) -> PortMap<'b> {

@@ -81,12 +81,23 @@ pub struct DevilNe2000 {
 impl DevilNe2000 {
     /// Compiles the embedded specification and binds it at `base`.
     pub fn new(base: u64) -> Self {
-        DevilNe2000 { base, dev: crate::specs::instance(crate::specs::NE2000) }
+        Self::with_instance(base, crate::specs::instance(crate::specs::NE2000))
+    }
+
+    /// Binds an already-built interpreter instance at `base` — the
+    /// fleet-spawning path, where one shared IR backs many drivers.
+    pub fn with_instance(base: u64, dev: DeviceInstance) -> Self {
+        DevilNe2000 { base, dev }
     }
 
     /// Plan-dispatch counters of the underlying interpreter.
     pub fn plan_stats(&self) -> devil_runtime::PlanStats {
         self.dev.plan_stats()
+    }
+
+    /// The underlying interpreter instance (fleet snapshotting).
+    pub fn instance(&self) -> &DeviceInstance {
+        &self.dev
     }
 
     fn ports<'b>(&self, bus: &'b mut Bus) -> PortMap<'b> {

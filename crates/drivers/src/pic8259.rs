@@ -103,7 +103,12 @@ pub struct DevilPic8259 {
 impl DevilPic8259 {
     /// Compiles the embedded specification and binds it at `base`.
     pub fn new(base: u64) -> Self {
-        let dev = crate::specs::instance(crate::specs::PIC8259);
+        Self::with_instance(base, crate::specs::instance(crate::specs::PIC8259))
+    }
+
+    /// Binds an already-built interpreter instance at `base` — the
+    /// fleet-spawning path, where one shared IR backs many drivers.
+    pub fn with_instance(base: u64, dev: DeviceInstance) -> Self {
         let ir = dev.ir();
         let field = |name: &str| ir.var_id(name).expect("pic8259 spec exports its init fields");
         DevilPic8259 {
@@ -138,6 +143,11 @@ impl DevilPic8259 {
     /// Plan-dispatch counters of the underlying instance.
     pub fn plan_stats(&self) -> PlanStats {
         self.dev.plan_stats()
+    }
+
+    /// The underlying interpreter instance (fleet snapshotting).
+    pub fn instance(&self) -> &DeviceInstance {
+        &self.dev
     }
 
     /// Runs the full ICW initialization sequence: set every `init`

@@ -175,7 +175,12 @@ pub struct DevilPm2 {
 impl DevilPm2 {
     /// Compiles the embedded specification and binds it at `base`.
     pub fn new(base: u64, depth: Depth) -> Self {
-        let dev = crate::specs::instance(crate::specs::PERMEDIA2);
+        Self::with_instance(base, depth, crate::specs::instance(crate::specs::PERMEDIA2))
+    }
+
+    /// Binds an already-built interpreter instance at `base` — the
+    /// fleet-spawning path, where one shared IR backs many drivers.
+    pub fn with_instance(base: u64, depth: Depth, dev: DeviceInstance) -> Self {
         let fifo_space = dev.var_id("fifo_space").expect("spec exports fifo_space");
         DevilPm2 { base, depth, dev, fifo_space, wait_iterations: 0, wait_loops: 0 }
     }
@@ -183,6 +188,11 @@ impl DevilPm2 {
     /// Plan-dispatch counters of the underlying interpreter.
     pub fn plan_stats(&self) -> devil_runtime::PlanStats {
         self.dev.plan_stats()
+    }
+
+    /// The underlying interpreter instance (fleet snapshotting).
+    pub fn instance(&self) -> &DeviceInstance {
+        &self.dev
     }
 
     fn ports<'b>(&self, bus: &'b mut Bus) -> PortMap<'b> {

@@ -4,7 +4,9 @@
 //! public-domain specification repository); [`instance`] compiles one
 //! into a ready-to-use [`DeviceInstance`].
 
+use devil_ir::DeviceIr;
 use devil_runtime::DeviceInstance;
+use std::sync::Arc;
 
 /// Figure 1: the Logitech bus mouse.
 pub const BUSMOUSE: &str = include_str!("../../../specs/busmouse.dil");
@@ -42,11 +44,24 @@ pub const ALL: [(&str, &str); 8] = [
 /// Panics if the source does not pass the checker — the embedded
 /// library is verified by tests, so a failure here is a build bug.
 pub fn instance(source: &str) -> DeviceInstance {
+    DeviceInstance::with_shared_ir(shared_ir(source))
+}
+
+/// Compiles a specification source once into a shareable IR handle.
+///
+/// A fleet spawning hundreds of instances of one spec compiles here
+/// once and hands every [`DeviceInstance::with_shared_ir`] the same
+/// `Arc` — spawning is O(cache slots), zero IR duplication.
+///
+/// # Panics
+///
+/// Panics if the source does not pass the checker, as [`instance`].
+pub fn shared_ir(source: &str) -> Arc<DeviceIr> {
     let model = devil_sema::check_source(source, &[]).unwrap_or_else(|diags| {
         let sm = devil_syntax::SourceMap::new("<embedded>", source);
         panic!("embedded spec failed to check:\n{}", diags.render_all(&sm));
     });
-    DeviceInstance::new(devil_ir::lower(&model))
+    Arc::new(devil_ir::lower(&model))
 }
 
 #[cfg(test)]

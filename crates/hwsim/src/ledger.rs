@@ -74,6 +74,23 @@ impl Ledger {
         self.pio_ops() + self.mmio_ops()
     }
 
+    /// Accumulates another ledger's counts into this one. Merging is
+    /// commutative and associative, so per-shard ledgers fold into a
+    /// fleet total in any order with one deterministic result.
+    pub fn merge(&mut self, other: &Ledger) {
+        for i in 0..3 {
+            self.io_in[i] += other.io_in[i];
+            self.io_out[i] += other.io_out[i];
+        }
+        self.block_in_words += other.block_in_words;
+        self.block_out_words += other.block_out_words;
+        self.block_ops += other.block_ops;
+        self.mem_read += other.mem_read;
+        self.mem_write += other.mem_write;
+        self.dma_words += other.dma_words;
+        self.unclaimed += other.unclaimed;
+    }
+
     /// Element-wise difference `self - earlier` (counts are monotonic).
     pub fn since(&self, earlier: &Ledger) -> Ledger {
         let sub = |a: u64, b: u64| a.checked_sub(b).expect("ledger went backwards");
@@ -96,6 +113,39 @@ impl Ledger {
             dma_words: sub(self.dma_words, earlier.dma_words),
             unclaimed: sub(self.unclaimed, earlier.unclaimed),
         }
+    }
+}
+
+/// A checkpoint cursor over a monotonically-growing ledger.
+///
+/// Remembers the counts at the last drain so each [`Checkpoint::drain`]
+/// returns exactly the delta accrued since the previous one. A fleet
+/// shard keeps one cursor per instance bus and merges drained deltas
+/// into its shard ledger at checkpoint boundaries — single-writer
+/// batched commits instead of a shared ledger behind a lock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Checkpoint {
+    mark: Ledger,
+}
+
+impl Checkpoint {
+    /// A cursor that has drained nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The delta since the last drain, advancing the cursor. Panics
+    /// with "ledger went backwards" if `current` regressed below the
+    /// mark (a torn commit).
+    pub fn drain(&mut self, current: &Ledger) -> Ledger {
+        let delta = current.since(&self.mark);
+        self.mark = *current;
+        delta
+    }
+
+    /// Everything drained so far.
+    pub fn drained(&self) -> Ledger {
+        self.mark
     }
 }
 
@@ -138,5 +188,57 @@ mod tests {
         l.count_in(Width::W8);
         let later = l;
         Ledger::new().since(&later);
+    }
+
+    #[test]
+    fn merge_accumulates_every_counter() {
+        let mut a = Ledger::new();
+        a.count_in(Width::W8);
+        a.block_out_words += 4;
+        a.dma_words += 2;
+        let mut b = Ledger::new();
+        b.count_in(Width::W8);
+        b.count_out(Width::W32);
+        b.mem_write += 1;
+        b.unclaimed += 1;
+        let mut total = a;
+        total.merge(&b);
+        assert_eq!(total.io_in[0], 2);
+        assert_eq!(total.io_out[2], 1);
+        assert_eq!(total.block_out_words, 4);
+        assert_eq!(total.mem_write, 1);
+        assert_eq!(total.dma_words, 2);
+        assert_eq!(total.unclaimed, 1);
+        // Commutative: b.merge(a) gives the same total.
+        let mut swapped = b;
+        swapped.merge(&a);
+        assert_eq!(total, swapped);
+    }
+
+    #[test]
+    fn checkpoint_drains_exact_deltas() {
+        let mut l = Ledger::new();
+        let mut cp = Checkpoint::new();
+        l.count_in(Width::W8);
+        l.count_in(Width::W16);
+        assert_eq!(cp.drain(&l).io_ops(), 2);
+        // Nothing new: the next drain is empty.
+        assert_eq!(cp.drain(&l), Ledger::new());
+        l.count_out(Width::W8);
+        l.block_in_words += 8;
+        let d = cp.drain(&l);
+        assert_eq!(d.io_ops(), 1);
+        assert_eq!(d.block_in_words, 8);
+        assert_eq!(cp.drained(), l);
+    }
+
+    #[test]
+    #[should_panic(expected = "ledger went backwards")]
+    fn checkpoint_rejects_regressing_ledgers() {
+        let mut l = Ledger::new();
+        l.count_in(Width::W8);
+        let mut cp = Checkpoint::new();
+        cp.drain(&l);
+        cp.drain(&Ledger::new());
     }
 }

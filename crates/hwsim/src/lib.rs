@@ -36,5 +36,5 @@ pub mod width;
 pub use bus::{Bus, DeviceId};
 pub use clock::{rate_per_s, throughput_mb_s, CostModel, SimClock};
 pub use device::{Device, IrqLine, SharedMem};
-pub use ledger::Ledger;
+pub use ledger::{Checkpoint, Ledger};
 pub use width::Width;

@@ -1,0 +1,95 @@
+//! Property tests for the ledger's merge/checkpoint discipline.
+//!
+//! A fleet harness splits one logical operation stream across shards,
+//! each accumulating counts in its own ledger, and folds the shard
+//! ledgers back together at checkpoints. That is only sound if:
+//!
+//! * merging per-shard ledgers in *any* order equals counting the whole
+//!   stream in one ledger (commutative, associative, lossless), and
+//! * checkpoint drains partition the stream — deltas merge back to the
+//!   full ledger and never regress ("ledger went backwards").
+
+use hwsim::{Checkpoint, Ledger};
+use proptest::prelude::*;
+
+const COUNTERS: u64 = 13;
+const SHARDS: usize = 4;
+
+/// Bumps one of the 13 public counters by `amount`.
+fn apply(l: &mut Ledger, kind: u64, amount: u64) {
+    match kind % COUNTERS {
+        0..=2 => l.io_in[(kind % 3) as usize] += amount,
+        3..=5 => l.io_out[(kind % 3) as usize] += amount,
+        6 => l.block_in_words += amount,
+        7 => l.block_out_words += amount,
+        8 => l.block_ops += amount,
+        9 => l.mem_read += amount,
+        10 => l.mem_write += amount,
+        11 => l.dma_words += amount,
+        _ => l.unclaimed += amount,
+    }
+}
+
+/// Decodes a generated op word into (shard, counter kind, amount).
+fn decode(op: u64) -> (usize, u64, u64) {
+    ((op % SHARDS as u64) as usize, (op / SHARDS as u64) % COUNTERS, 1 + (op >> 32) % 7)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_any_order_equals_single_threaded(ops in proptest::collection::vec(0u64..u64::MAX, 0..64), rot in 0usize..SHARDS) {
+        let mut single = Ledger::new();
+        let mut shards = [Ledger::new(); SHARDS];
+        for &op in &ops {
+            let (shard, kind, amount) = decode(op);
+            apply(&mut single, kind, amount);
+            apply(&mut shards[shard], kind, amount);
+        }
+        // Fold forward, fold backward, and fold from a rotated start:
+        // every order must agree with the single-threaded ledger.
+        let mut fwd = Ledger::new();
+        for s in &shards {
+            fwd.merge(s);
+        }
+        let mut bwd = Ledger::new();
+        for s in shards.iter().rev() {
+            bwd.merge(s);
+        }
+        let mut rotated = Ledger::new();
+        for i in 0..SHARDS {
+            rotated.merge(&shards[(i + rot) % SHARDS]);
+        }
+        prop_assert_eq!(fwd, single);
+        prop_assert_eq!(bwd, single);
+        prop_assert_eq!(rotated, single);
+        // Lossless: per-kind totals survive, not just the grand total.
+        prop_assert_eq!(fwd.total_ops(), single.total_ops());
+    }
+
+    #[test]
+    fn checkpoint_drains_partition_the_stream(ops in proptest::collection::vec(0u64..u64::MAX, 1..64), every in 1usize..8) {
+        let mut live = Ledger::new();
+        let mut cp = Checkpoint::new();
+        let mut committed = Ledger::new();
+        let mut drains = 0u64;
+        for (i, &op) in ops.iter().enumerate() {
+            let (_, kind, amount) = decode(op);
+            apply(&mut live, kind, amount);
+            if i % every == 0 {
+                // Monotonic stream: drain never panics, and each delta
+                // is exactly what accrued since the last one.
+                let delta = cp.drain(&live);
+                committed.merge(&delta);
+                drains += 1;
+                prop_assert_eq!(committed, cp.drained());
+            }
+        }
+        committed.merge(&cp.drain(&live));
+        prop_assert_eq!(committed, live, "drained deltas must re-merge to the live ledger");
+        prop_assert!(drains >= 1);
+        // A second drain with no traffic is empty.
+        prop_assert_eq!(cp.drain(&live), Ledger::new());
+    }
+}
