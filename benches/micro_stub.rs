@@ -239,6 +239,102 @@ fn bench_micro(c: &mut Criterion) {
         })
     });
 
+    // The trace-fusion flagship loops, wall-clock on real hwsim rigs.
+    // Three rungs each: the hand-written per-word loop, the unfused
+    // Devil driver (one plan dispatch per stub), and the fused
+    // superplan (one guard evaluation + one vectored `ins`/`outs`
+    // block transaction per interrupt). The fused rung is the repo's
+    // first below-hand-written number: the hand loop pays bus claim
+    // resolution and ledger bookkeeping per word, the superplan once
+    // per block. The IDE read spans 4 sectors so the per-word rungs
+    // amortize command setup the same way real drivers do.
+    let ide_rig = || {
+        use devices::ide::SECTOR_SIZE;
+        let mem = hwsim::SharedMem::new(1 << 16);
+        let mut ctl = devices::IdeController::new(8, hwsim::IrqLine::new(), mem);
+        for s in 0..8usize {
+            for w in 0..SECTOR_SIZE {
+                ctl.disk_mut()[s * SECTOR_SIZE + w] = ((s * 7 + w) & 0xff) as u8;
+            }
+        }
+        let mut bus = hwsim::Bus::default();
+        bus.attach_io(Box::new(ctl), 0x1f0, 16);
+        bus
+    };
+    let pio_cfg = |moves| drivers::PioConfig { sectors_per_irq: 1, io32: false, moves };
+    g.bench_function("hand_ide_pio_read4", |b| {
+        let mut bus = ide_rig();
+        let drv = drivers::HandIde::new(0x1f0);
+        b.iter(|| {
+            black_box(drv.read_pio(&mut bus, black_box(0), 4, pio_cfg(drivers::PioMove::Loop)))
+        })
+    });
+    g.bench_function("plan_ide_pio_read4", |b| {
+        let mut bus = ide_rig();
+        let mut drv = drivers::DevilIde::new(0x1f0);
+        b.iter(|| {
+            black_box(drv.read_pio(&mut bus, black_box(0), 4, pio_cfg(drivers::PioMove::Block)))
+        })
+    });
+    g.bench_function("fused_ide_pio_read4", |b| {
+        let mut bus = ide_rig();
+        let mut drv = drivers::DevilIde::new(0x1f0);
+        b.iter(|| {
+            black_box(drv.read_pio_fused(
+                &mut bus,
+                black_box(0),
+                4,
+                pio_cfg(drivers::PioMove::Block),
+            ))
+        })
+    });
+
+    let ne2k_rig = || {
+        let nic = devices::Ne2000::new([2, 0, 0, 0, 0, 1], hwsim::IrqLine::new());
+        let mut bus = hwsim::Bus::default();
+        bus.attach_io(Box::new(nic), 0x300, 18);
+        bus
+    };
+    // Full-MTU frame: 757 data words per transmit, where the batching
+    // actually matters (a 64-byte ping is setup-dominated on all rungs).
+    let frame = {
+        let mut f = [0u8; 1514];
+        f[..6].copy_from_slice(&[0xff; 6]);
+        f[6] = 2;
+        f[11] = 1;
+        for (i, b) in f[14..].iter_mut().enumerate() {
+            *b = (i & 0xff) as u8;
+        }
+        f
+    };
+    g.bench_function("hand_ne2000_tx", |b| {
+        let mut bus = ne2k_rig();
+        let drv = drivers::HandNe2000::new(0x300);
+        drv.start(&mut bus);
+        b.iter(|| {
+            drv.send(&mut bus, black_box(&frame));
+            black_box(&bus);
+        })
+    });
+    g.bench_function("plan_ne2000_tx", |b| {
+        let mut bus = ne2k_rig();
+        let mut drv = drivers::DevilNe2000::new(0x300);
+        drv.start(&mut bus);
+        b.iter(|| {
+            drv.send(&mut bus, black_box(&frame));
+            black_box(&bus);
+        })
+    });
+    g.bench_function("fused_ne2000_tx", |b| {
+        let mut bus = ne2k_rig();
+        let mut drv = drivers::DevilNe2000::new(0x300);
+        drv.start(&mut bus);
+        b.iter(|| {
+            drv.send_fused(&mut bus, black_box(&frame));
+            black_box(&bus);
+        })
+    });
+
     // Compilation pipeline cost: parse + check + lower.
     g.bench_function("compile_busmouse_spec", |b| {
         b.iter(|| {

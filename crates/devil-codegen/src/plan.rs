@@ -64,9 +64,19 @@ fn guard_emittable(ir: &DeviceIr, g: &PlanGuard) -> bool {
 /// [`PlanStep`] — a future step kind fails to compile here instead of
 /// silently emitting wrong C/Rust.
 fn step_emittable(ir: &DeviceIr, step: &PlanStep) -> bool {
+    step_verdict(ir, step, false)
+}
+
+/// The shared verdict behind [`step_emittable`] and
+/// [`superplan_emittable`]. `superplan` relaxes the value rule: a fused
+/// body's `Arg` operands become stub parameters (`a0`, `a1`, ...),
+/// whereas in variable/structure plans `Arg` marks a family argument no
+/// stub can supply. The block and assemble kinds only ever appear in
+/// fused bodies (`DeviceIr::fuse` is their sole producer).
+fn step_verdict(ir: &DeviceIr, step: &PlanStep, superplan: bool) -> bool {
     let value_ok = |v: &PlanValue| match v {
         PlanValue::Input | PlanValue::Const(_) => true,
-        PlanValue::Arg(_) => false,
+        PlanValue::Arg(_) => superplan,
     };
     match step {
         PlanStep::Read(a) => {
@@ -82,7 +92,31 @@ fn step_emittable(ir: &DeviceIr, step: &PlanStep) -> bool {
                 && c.segs.iter().all(|ws| value_ok(&ws.value))
         }
         PlanStep::SetCell { value, .. } => value_ok(value),
+        // Fused block transfers bind a constant port/offset/size by
+        // construction (`DeviceIr::fuse` rejects everything else).
+        PlanStep::BlockIn { .. } | PlanStep::BlockOut { .. } => superplan,
+        // Per-op output assembly: every segment must name a cache field.
+        PlanStep::Assemble { segs, .. } => {
+            superplan && segs.iter().all(|(s, _)| ir.slot_owner(*s).is_some())
+        }
     }
+}
+
+/// Whether a fused superplan can be lowered to stub text: same rules as
+/// [`plan_emittable`] (owned guard slots, bounded variant count) over
+/// the entry stage plus every fused variant, with the superplan's `Arg`
+/// operands admitted as stub parameters. Cell-guarded superplans keep
+/// the interpreter API like every other cell-guarded plan — the
+/// emitted exhaustive chain has no out-of-domain fallback.
+pub fn superplan_emittable(ir: &DeviceIr, sp: &devil_ir::Superplan) -> bool {
+    if sp.plan.variants.is_empty() || sp.plan.variants.len() > VARIANT_EMIT_CAP {
+        return false;
+    }
+    ir.variant_steps(&sp.stage).iter().all(|s| step_verdict(ir, s, true))
+        && sp.plan.variants.iter().all(|v| {
+            v.guards.iter().all(|g| guard_emittable(ir, g))
+                && ir.variant_steps(v).iter().all(|s| step_verdict(ir, s, true))
+        })
 }
 
 /// The fixed slots behind an emittable read plan's assemble list —
@@ -119,6 +153,9 @@ pub struct StubApi {
     pub read_structs: Vec<StructId>,
     /// Structure flushes (`write_struct_id`).
     pub write_structs: Vec<StructId>,
+    /// Fused superplans (`run_superplan` semantics): indices into
+    /// [`DeviceIr::superplans`] whose fused body is emittable.
+    pub superplans: Vec<usize>,
 }
 
 impl StubApi {
@@ -159,6 +196,11 @@ impl StubApi {
                 api.write_structs.push(sid);
             }
         }
+        for (si, sp) in ir.superplans().iter().enumerate() {
+            if superplan_emittable(ir, sp) {
+                api.superplans.push(si);
+            }
+        }
         api
     }
 
@@ -180,6 +222,11 @@ impl StubApi {
     /// Whether `vid` has a cache-staging field setter.
     pub fn stages_field(&self, vid: VarId) -> bool {
         self.field_stagers.contains(&vid)
+    }
+
+    /// Whether superplan `sid` has a fused stub.
+    pub fn emits_superplan(&self, sid: usize) -> bool {
+        self.superplans.contains(&sid)
     }
 }
 
@@ -268,6 +315,11 @@ mod tests {
                         PlanStep::Write(..) => kinds[1] = true,
                         PlanStep::Store(..) => kinds[2] = true,
                         PlanStep::SetCell { .. } => kinds[3] = true,
+                        PlanStep::BlockIn { .. }
+                        | PlanStep::BlockOut { .. }
+                        | PlanStep::Assemble { .. } => {
+                            panic!("fused steps never appear in variable/structure plans")
+                        }
                     }
                 }
                 for g in &variant.guards {

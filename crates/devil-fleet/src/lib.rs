@@ -225,6 +225,7 @@ fn run_shard(cfg: &FleetConfig, irs: &SharedIrs, shard: usize) -> ShardResult {
             let s = inst.plan_stats();
             stats.straight += s.straight;
             stats.guarded += s.guarded;
+            stats.fused += s.fused;
             stats.general += s.general;
             InstanceFinal {
                 id: inst.id(),
@@ -239,12 +240,17 @@ fn run_shard(cfg: &FleetConfig, irs: &SharedIrs, shard: usize) -> ShardResult {
     ShardResult { ledger, stats, latencies_ns, clock_ns, units, checkpoints, finals }
 }
 
+/// Nearest-rank percentile: the smallest value such that at least
+/// `q·len` samples are ≤ it, i.e. `sorted[ceil(q·len) - 1]` clamped to
+/// the valid range. The previous linear-index rounding deviated at
+/// small sample counts (p50 of 4 samples picked index 2; nearest-rank
+/// is index 1).
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Runs a fleet, compiling the spec library first. Benchmarks that
@@ -280,6 +286,7 @@ pub fn run_fleet_with(cfg: &FleetConfig, irs: &SharedIrs) -> FleetReport {
         ledger.merge(&r.ledger);
         stats.straight += r.stats.straight;
         stats.guarded += r.stats.guarded;
+        stats.fused += r.stats.fused;
         stats.general += r.stats.general;
         units += r.units;
         checkpoints += r.checkpoints;
@@ -322,3 +329,57 @@ const _: () = {
     assert_send_sync::<DeviceInstance>();
     assert_send_sync::<InstanceSnapshot>();
 };
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn percentile_of_one_sample_is_that_sample() {
+        let s = [7];
+        assert_eq!(percentile(&s, 0.50), 7);
+        assert_eq!(percentile(&s, 0.99), 7);
+        assert_eq!(percentile(&s, 0.999), 7);
+    }
+
+    #[test]
+    fn percentile_of_two_samples() {
+        let s = [10, 20];
+        // Nearest-rank p50 of 2 samples is the first: ceil(0.5·2) = 1.
+        assert_eq!(percentile(&s, 0.50), 10);
+        assert_eq!(percentile(&s, 0.99), 20);
+    }
+
+    #[test]
+    fn percentile_of_four_samples() {
+        let s = [1, 2, 3, 4];
+        // ceil(0.5·4) = 2 → second sample, not the old round()'s third.
+        assert_eq!(percentile(&s, 0.50), 2);
+        assert_eq!(percentile(&s, 0.75), 3);
+        assert_eq!(percentile(&s, 0.99), 4);
+    }
+
+    #[test]
+    fn percentile_of_ten_samples() {
+        let s: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&s, 0.50), 5);
+        assert_eq!(percentile(&s, 0.90), 9);
+        assert_eq!(percentile(&s, 0.99), 10);
+    }
+
+    #[test]
+    fn percentile_of_hundred_samples() {
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&s, 0.50), 50);
+        assert_eq!(percentile(&s, 0.99), 99);
+        assert_eq!(percentile(&s, 0.999), 100);
+    }
+
+    #[test]
+    fn percentile_extremes_are_clamped() {
+        let s: Vec<u64> = (1..=10).collect();
+        assert_eq!(percentile(&s, 0.0), 1);
+        assert_eq!(percentile(&s, 1.0), 10);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+}

@@ -371,8 +371,11 @@ impl FleetInstance {
     }
 
     /// Runs one workload unit, drawing its parameters from the
-    /// instance's stream. Returns the simulated nanoseconds the unit's
-    /// bus activity took.
+    /// instance's stream. Kinds with a shipped superplan (ICW storms,
+    /// PIO reads, NIC transmits, fill rectangles) flip per unit between
+    /// the fused one-guard dispatch and the unfused plan-by-plan path,
+    /// so the determinism gate covers both pipelines interleaved.
+    /// Returns the simulated nanoseconds the unit's bus activity took.
     pub fn run_unit(&mut self) -> u64 {
         let t0 = self.bus.now_ns();
         let (bus, rng) = (&mut self.bus, &mut self.rng);
@@ -394,7 +397,11 @@ impl FleetInstance {
                     auto_eoi: rng.chance(1, 4),
                     irq_mask: rng.next_u64() as u8,
                 };
-                drv.init(bus, cfg);
+                if rng.chance(1, 2) {
+                    drv.init_fused(bus, cfg);
+                } else {
+                    drv.init(bus, cfg);
+                }
             }
             Rig::PioRead { drv } => {
                 let lba = rng.below(IDE_SECTORS) as u32;
@@ -403,14 +410,22 @@ impl FleetInstance {
                     io32: rng.chance(1, 2),
                     moves: if rng.chance(1, 4) { PioMove::Loop } else { PioMove::Block },
                 };
-                let _ = drv.read_pio(bus, lba, 1, cfg);
+                if rng.chance(1, 2) {
+                    let _ = drv.read_pio_fused(bus, lba, 1, cfg);
+                } else {
+                    let _ = drv.read_pio(bus, lba, 1, cfg);
+                }
             }
             Rig::NetBurst { drv, frame } => {
                 for b in frame[12..20].iter_mut() {
                     *b = rng.next_u64() as u8;
                 }
                 let len = 20 + rng.below(44) as usize;
-                drv.send(bus, &frame[..len]);
+                if rng.chance(1, 2) {
+                    drv.send_fused(bus, &frame[..len]);
+                } else {
+                    drv.send(bus, &frame[..len]);
+                }
             }
             Rig::FifoRect { drv } => {
                 let x = rng.below((PM2_W - 8) as u64) as u32;
@@ -422,7 +437,12 @@ impl FleetInstance {
                     let dy = rng.below((PM2_H - 8) as u64) as u32;
                     drv.copy_rect(bus, x, y, dx, dy, w, h);
                 } else {
-                    drv.fill_rect(bus, x, y, w, h, rng.next_u64() as u32);
+                    let color = rng.next_u64() as u32;
+                    if rng.chance(1, 2) {
+                        drv.fill_rect_fused(bus, x, y, w, h, color);
+                    } else {
+                        drv.fill_rect(bus, x, y, w, h, color);
+                    }
                 }
             }
             Rig::DmaProgram { dev, ids } => {
@@ -483,6 +503,7 @@ impl FleetInstance {
         let mut add = |s: PlanStats| {
             sum.straight += s.straight;
             sum.guarded += s.guarded;
+            sum.fused += s.fused;
             sum.general += s.general;
         };
         match &self.rig {

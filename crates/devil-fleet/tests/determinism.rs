@@ -58,6 +58,7 @@ fn fleet_wide_general_interpreter_count_is_zero() {
     assert_eq!(kinds.len(), WorkloadKind::ALL.len(), "all workload kinds spawned: {kinds:?}");
     assert!(r.stats.straight > 0, "fleet must dispatch on straight-line plans");
     assert!(r.stats.guarded > 0, "fleet must dispatch on guard-split variants");
+    assert!(r.stats.fused > 0, "fleet must dispatch on fused superplans");
     assert_eq!(r.stats.general, 0, "no general-interpreter fallback anywhere: {:?}", r.stats);
     assert_eq!(r.units, 64 * 12);
     assert!(r.ledger.io_ops() > 0, "merged ledger saw the fleet's I/O");

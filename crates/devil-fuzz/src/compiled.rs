@@ -18,9 +18,10 @@
 //! without an emittable plan, block transfers) are filtered out of the
 //! stream — identically for both sides — by [`stub_ops`].
 
+use crate::superfuzz::SuperCall;
 use crate::Op;
 use devil_codegen::StubApi;
-use devil_ir::DeviceIr;
+use devil_ir::{DeviceIr, FuseOp};
 use devil_runtime::{DeviceInstance, FakeAccess};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -62,7 +63,11 @@ impl CompiledStub {
         let h_path = dir.join(format!("{stem}.h"));
         let c_path = dir.join(format!("{stem}.c"));
         std::fs::write(&h_path, &header).map_err(|e| format!("{}: {e}", h_path.display()))?;
-        let full = format!("#include \"{stem}.h\"\n{harness}");
+        // The shim half of the harness precedes the include: the
+        // header's `static inline` superplan bodies must bind the bus
+        // primitives to the shim at their definition site, not only at
+        // the macro-stub use sites in `main`.
+        let full = harness.replace("@INCLUDE@", &format!("#include \"{stem}.h\""));
         std::fs::write(&c_path, &full).map_err(|e| format!("{}: {e}", c_path.display()))?;
         // Compile to a temp name and rename, so concurrent builders
         // never observe a half-written binary.
@@ -147,6 +152,12 @@ pub fn stub_ops(ir: &DeviceIr, api: &StubApi, ops: &[Op]) -> Vec<Op> {
 /// Renders a filtered op stream as the harness's command protocol.
 pub fn commands(ir: &DeviceIr, api: &StubApi, ops: &[Op]) -> String {
     let mut out = String::new();
+    op_commands(ir, api, ops, &mut out);
+    out.push_str("D\n");
+    out
+}
+
+fn op_commands(ir: &DeviceIr, api: &StubApi, ops: &[Op], out: &mut String) {
     for op in ops {
         match op {
             Op::Preset { port, offset, value } => {
@@ -177,8 +188,6 @@ pub fn commands(ir: &DeviceIr, api: &StubApi, ops: &[Op]) -> String {
             Op::ReadBlock { .. } | Op::WriteBlock { .. } => unreachable!("filtered"),
         }
     }
-    out.push_str("D\n");
-    out
 }
 
 /// Replays a filtered op stream through the fast-path interpreter,
@@ -189,34 +198,48 @@ pub fn interp_observation(ir: &DeviceIr, ops: &[Op]) -> Vec<String> {
     let mut dev = FakeAccess::new();
     let mut out = Vec::new();
     let mut logged = 0usize;
-    let flush_bus = |dev: &FakeAccess, out: &mut Vec<String>, logged: &mut usize| {
-        for &(w, port, offset, value) in &dev.log[*logged..] {
-            out.push(format!("B {} {port} {offset} {value}", if w { "W" } else { "R" }));
-        }
-        *logged = dev.log.len();
-    };
+    interp_ops(ir, &mut inst, &mut dev, ops, &mut out, &mut logged);
+    dump_state(ir, &inst, &mut out);
+    out
+}
+
+fn flush_bus(dev: &FakeAccess, out: &mut Vec<String>, logged: &mut usize) {
+    for &(w, port, offset, value) in &dev.log[*logged..] {
+        out.push(format!("B {} {port} {offset} {value}", if w { "W" } else { "R" }));
+    }
+    *logged = dev.log.len();
+}
+
+fn interp_ops(
+    ir: &DeviceIr,
+    inst: &mut DeviceInstance,
+    dev: &mut FakeAccess,
+    ops: &[Op],
+    out: &mut Vec<String>,
+    logged: &mut usize,
+) {
     for op in ops {
         match op {
             Op::Preset { port, offset, value } => dev.preset(*port, *offset, *value),
             Op::ReadVar { vid, args } => {
-                let r = inst.read_id(&mut dev, *vid, args);
-                flush_bus(&dev, &mut out, &mut logged);
+                let r = inst.read_id(dev, *vid, args);
+                flush_bus(dev, out, logged);
                 out.push(match r {
                     Ok(v) => format!("O r{} {v}", vid.0),
                     Err(e) => format!("O r{} ERR {e:?}", vid.0),
                 });
             }
             Op::WriteVar { vid, args, value } => {
-                let r = inst.write_id(&mut dev, *vid, args, *value);
-                flush_bus(&dev, &mut out, &mut logged);
+                let r = inst.write_id(dev, *vid, args, *value);
+                flush_bus(dev, out, logged);
                 out.push(match r {
                     Ok(()) => format!("O w{} ok", vid.0),
                     Err(e) => format!("O w{} ERR {e:?}", vid.0),
                 });
             }
             Op::ReadStruct { sid } => {
-                let r = inst.read_struct_id(&mut dev, *sid);
-                flush_bus(&dev, &mut out, &mut logged);
+                let r = inst.read_struct_id(dev, *sid);
+                flush_bus(dev, out, logged);
                 out.push(match &r {
                     Ok(()) => format!("O rs{} ok", sid.0),
                     Err(e) => format!("O rs{} ERR {e:?}", sid.0),
@@ -239,17 +262,20 @@ pub fn interp_observation(ir: &DeviceIr, ops: &[Op]) -> Vec<String> {
                         break;
                     }
                 }
-                let line = failed.unwrap_or_else(|| match inst.write_struct_id(&mut dev, *sid) {
+                let line = failed.unwrap_or_else(|| match inst.write_struct_id(dev, *sid) {
                     Ok(()) => format!("O ws{} ok", sid.0),
                     Err(e) => format!("O ws{} ERR {e:?}", sid.0),
                 });
-                flush_bus(&dev, &mut out, &mut logged);
+                flush_bus(dev, out, logged);
                 out.push(line);
             }
             Op::ReadBlock { .. } | Op::WriteBlock { .. } => unreachable!("filtered"),
         }
     }
-    // Final cache dump, in the exact order the harness prints it.
+}
+
+/// The final cache dump, in the exact order the harness prints it.
+fn dump_state(ir: &DeviceIr, inst: &DeviceInstance, out: &mut Vec<String>) {
     let (slots, valid) = inst.cache_snapshot();
     for reg in &ir.regs {
         if let Some(slot) = reg.slot {
@@ -262,7 +288,6 @@ pub fn interp_observation(ir: &DeviceIr, ops: &[Op]) -> Vec<String> {
             out.push(format!("M {} {}", var.name, mem[cell]));
         }
     }
-    out
 }
 
 /// Generates the C harness around an emitted header: the logging bus
@@ -273,8 +298,6 @@ pub fn harness_c(ir: &DeviceIr, prefix: &str, api: &StubApi) -> String {
     let _ = writeln!(c, "#include <stdio.h>");
     let _ = writeln!(c, "#include <stdlib.h>");
     let _ = writeln!(c, "#include <string.h>");
-    let _ = writeln!(c);
-    let _ = writeln!(c, "struct {prefix}_cache_t {prefix}_cache;");
     let _ = writeln!(c);
     // The bus shim: a linear (addr, value) register file. Reads of
     // untouched addresses return 0, exactly like the Rust FakeAccess.
@@ -323,6 +346,24 @@ pub fn harness_c(ir: &DeviceIr, prefix: &str, api: &StubApi) -> String {
     for io in ["outb", "outw", "outl"] {
         let _ = writeln!(c, "#define {io} shim_out");
     }
+    // The harness supplies its own block primitives (per-word through
+    // the shim, so the log shows every bus cycle like FakeAccess does)
+    // and suppresses the header's <sys/io.h>-backed defaults.
+    let _ = writeln!(c, "#define DEVIL_NO_SYS_IO 1");
+    for w in [8u32, 16, 32] {
+        let _ = writeln!(
+            c,
+            "#define devil_ins{w}(p, b, n) do {{ unsigned long __i; \\\n    for (__i = 0; __i < (unsigned long)(n); ++__i) (b)[__i] = shim_in(p); }} while (0)"
+        );
+        let _ = writeln!(
+            c,
+            "#define devil_outs{w}(p, b, n) do {{ unsigned long __i; \\\n    for (__i = 0; __i < (unsigned long)(n); ++__i) shim_out((b)[__i], (p)); }} while (0)"
+        );
+    }
+    let _ = writeln!(c);
+    let _ = writeln!(c, "@INCLUDE@");
+    let _ = writeln!(c);
+    let _ = writeln!(c, "struct {prefix}_cache_t {prefix}_cache;");
     let _ = writeln!(c);
     let _ = writeln!(c, "int main(void) {{");
     let _ = writeln!(c, "    for (int p = 0; p < {}; p++)", ir.ports.len());
@@ -407,6 +448,59 @@ pub fn harness_c(ir: &DeviceIr, prefix: &str, api: &StubApi) -> String {
     }
     let _ = writeln!(c, "            default: return 1;");
     let _ = writeln!(c, "            }}");
+    let _ = writeln!(c, "        }} else if (!strcmp(cmd, \"SP\")) {{");
+    let _ = writeln!(c, "            int k;");
+    let _ = writeln!(c, "            if (scanf(\"%d\", &k) != 1) return 1;");
+    let _ = writeln!(c, "            switch (k) {{");
+    for (k, &si) in api.superplans.iter().enumerate() {
+        let sp = &ir.superplans()[si];
+        let has_out = sp.ops.iter().any(|o| matches!(o, FuseOp::WriteBlock { .. }));
+        let has_in = sp.ops.iter().any(|o| matches!(o, FuseOp::ReadBlock { .. }));
+        let _ = writeln!(c, "            case {k}: {{");
+        let _ = writeln!(c, "                unsigned long long a[{}];", sp.args.max(1));
+        let _ = writeln!(c, "                unsigned long long outs[{}];", sp.outputs.max(1));
+        let _ = writeln!(c, "                unsigned long long bo[512], bi[512];");
+        let _ = writeln!(c, "                unsigned long bon = 0, bin = 0;");
+        let _ = writeln!(c, "                (void)a; (void)outs; (void)bo; (void)bi;");
+        let _ = writeln!(c, "                (void)bon; (void)bin;");
+        for i in 0..sp.args {
+            let _ = writeln!(c, "                if (scanf(\"%llu\", &a[{i}]) != 1) return 1;");
+        }
+        if has_out {
+            let _ = writeln!(c, "                if (scanf(\"%lu\", &bon) != 1) return 1;");
+            let _ = writeln!(c, "                if (bon > 512) return 1;");
+            let _ = writeln!(c, "                for (unsigned long i = 0; i < bon; i++)");
+            let _ = writeln!(c, "                    if (scanf(\"%llu\", &bo[i]) != 1) return 1;");
+        }
+        if has_in {
+            let _ = writeln!(c, "                if (scanf(\"%lu\", &bin) != 1) return 1;");
+            let _ = writeln!(c, "                if (bin > 512) return 1;");
+        }
+        let mut call: Vec<String> = (0..sp.args).map(|i| format!("a[{i}]")).collect();
+        if sp.outputs > 0 {
+            call.push("outs".into());
+        }
+        if has_out {
+            call.push("bo".into());
+            call.push("bon".into());
+        }
+        if has_in {
+            call.push("bi".into());
+            call.push("bin".into());
+        }
+        let _ = writeln!(c, "                {prefix}_sp_{}({});", sp.name, call.join(", "));
+        let _ = writeln!(c, "                printf(\"O sp{si} ok\\n\");");
+        for j in 0..sp.outputs {
+            let _ = writeln!(c, "                printf(\"O o{j} %llu\\n\", outs[{j}]);");
+        }
+        if has_in {
+            let _ = writeln!(c, "                for (unsigned long i = 0; i < bin; i++)");
+            let _ = writeln!(c, "                    printf(\"O bi %llu\\n\", bi[i]);");
+        }
+        let _ = writeln!(c, "                break; }}");
+    }
+    let _ = writeln!(c, "            default: return 1;");
+    let _ = writeln!(c, "            }}");
     let _ = writeln!(c, "        }} else if (!strcmp(cmd, \"D\")) {{");
     for reg in &ir.regs {
         if reg.slot.is_some() {
@@ -433,6 +527,107 @@ pub fn harness_c(ir: &DeviceIr, prefix: &str, api: &StubApi) -> String {
     let _ = writeln!(c, "    return 0;");
     let _ = writeln!(c, "}}");
     c
+}
+
+/// Filters a superplan call stream down to the fused stub surface:
+/// calls to emittable superplans only, with their op preludes cut to
+/// the stub subset — identically for both sides of the oracle.
+pub fn super_stub_seq(
+    ir: &DeviceIr,
+    api: &StubApi,
+    seq: &[(Vec<Op>, SuperCall)],
+) -> Vec<(Vec<Op>, SuperCall)> {
+    seq.iter()
+        .filter(|(_, call)| api.emits_superplan(call.sid))
+        .map(|(pre, call)| (stub_ops(ir, api, pre), call.clone()))
+        .collect()
+}
+
+/// Renders a filtered superplan call stream as the harness's command
+/// protocol: each prelude's op commands, then an `SP` dispatch with
+/// operands and block payloads.
+pub fn super_commands(ir: &DeviceIr, api: &StubApi, seq: &[(Vec<Op>, SuperCall)]) -> String {
+    let mut out = String::new();
+    for (pre, call) in seq {
+        op_commands(ir, api, pre, &mut out);
+        let k = api.superplans.iter().position(|&s| s == call.sid).expect("filtered");
+        out.push_str(&format!("SP {k}"));
+        for &a in &call.args {
+            out.push_str(&format!(" {a}"));
+        }
+        let sp = &ir.superplans()[call.sid];
+        if sp.ops.iter().any(|o| matches!(o, FuseOp::WriteBlock { .. })) {
+            out.push_str(&format!(" {}", call.block_out.len()));
+            for &w in &call.block_out {
+                out.push_str(&format!(" {w}"));
+            }
+        }
+        if sp.ops.iter().any(|o| matches!(o, FuseOp::ReadBlock { .. })) {
+            out.push_str(&format!(" {}", call.block_in_len));
+        }
+        out.push('\n');
+    }
+    out.push_str("D\n");
+    out
+}
+
+/// Replays a filtered superplan call stream through the fused
+/// interpreter path, producing the canonical observation lines the
+/// compiled harness must match: bus traffic, the dispatch marker,
+/// outputs and read-block words, then the final cache dump.
+pub fn interp_super_observation(ir: &DeviceIr, seq: &[(Vec<Op>, SuperCall)]) -> Vec<String> {
+    let mut inst = DeviceInstance::new(ir.clone());
+    let mut dev = FakeAccess::new();
+    let mut out = Vec::new();
+    let mut logged = 0usize;
+    for (pre, call) in seq {
+        interp_ops(ir, &mut inst, &mut dev, pre, &mut out, &mut logged);
+        let sp = &ir.superplans()[call.sid];
+        let mut block_in = vec![0u64; call.block_in_len];
+        let mut outs = vec![0u64; sp.outputs];
+        inst.run_superplan(
+            &mut dev,
+            call.sid,
+            &call.args,
+            &call.block_out,
+            &mut block_in,
+            &mut outs,
+        )
+        .unwrap_or_else(|e| panic!("superplan `{}` failed in the oracle: {e:?}", sp.name));
+        flush_bus(&dev, &mut out, &mut logged);
+        out.push(format!("O sp{} ok", call.sid));
+        for (j, v) in outs.iter().enumerate() {
+            out.push(format!("O o{j} {v}"));
+        }
+        for v in &block_in {
+            out.push(format!("O bi {v}"));
+        }
+    }
+    dump_state(ir, &inst, &mut out);
+    out
+}
+
+/// Replays a superplan call stream (pre-filtering to the fused stub
+/// surface) through the compiled superplan bodies and the fused
+/// interpreter path, demanding identical bus logs, outputs, read-block
+/// contents and final cache state.
+pub fn check_compiled_super(
+    stub: &CompiledStub,
+    ir: &DeviceIr,
+    api: &StubApi,
+    seq: &[(Vec<Op>, SuperCall)],
+) -> Result<(), String> {
+    let kept = super_stub_seq(ir, api, seq);
+    let want = interp_super_observation(ir, &kept);
+    let got = stub.run(super_commands(ir, api, &kept))?;
+    if want != got {
+        return Err(format!(
+            "{}: compiled superplans diverge from the interpreter at {}",
+            stub.name,
+            first_line_diff(&want, &got)
+        ));
+    }
+    Ok(())
 }
 
 /// The first differing line between the two observation streams.

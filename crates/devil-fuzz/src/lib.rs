@@ -18,6 +18,7 @@ use devil_sema::model::{Offset, StructId, VarId};
 
 pub mod compiled;
 pub mod corpus;
+pub mod superfuzz;
 pub mod synthetic;
 
 /// One operation against a device instance.

@@ -11,8 +11,10 @@
 
 use devil_codegen::StubApi;
 use devil_fuzz::compiled::{
-    cc_available, check_compiled, commands, interp_observation, stub_ops, CompiledStub,
+    cc_available, check_compiled, check_compiled_super, commands, interp_observation, stub_ops,
+    CompiledStub,
 };
+use devil_fuzz::superfuzz::{decode_super, install_synthetic, super_sweep};
 use devil_fuzz::{decode, init_sweep_ops, sweep_ops, Op};
 use devil_ir::DeviceIr;
 use proptest::prelude::*;
@@ -38,7 +40,15 @@ fn rigs() -> &'static [Rig] {
             .chain(devil_fuzz::synthetic::ALL)
             .map(|(name, src)| {
                 let model = devil_sema::check_source(src, &[]).expect("embedded spec checks");
-                let ir = devil_ir::lower(&model);
+                let mut ir = devil_ir::lower(&model);
+                // The same superplan surface the runtime ships: driver
+                // declarations on the shipped specs, fixture fusions on
+                // the synthetic fallback shapes.
+                if devil_fuzz::synthetic::ALL.iter().any(|(n, _)| n == name) {
+                    install_synthetic(name, &mut ir);
+                } else {
+                    drivers::superplans::install(&mut ir);
+                }
                 let api = StubApi::of(&ir);
                 let stub = CompiledStub::build(name, &ir, &dir)
                     .unwrap_or_else(|e| panic!("{name}: cannot build compiled oracle: {e}"));
@@ -230,6 +240,58 @@ fn formerly_fallback_shapes_join_the_compiled_oracle() {
     }
 }
 
+/// The fused stub surface is exactly what ships: every driver-declared
+/// superplan lowers to a compiled C body, the synthetic fixtures with
+/// input-resolved or inlined-nested guards lower too, and memw's
+/// cell-guarded burst is rejected — it keeps the interpreter API
+/// behind a marker comment, never a mis-emitted guard chain.
+#[test]
+fn fused_stub_surface_is_complete() {
+    if skip_without_cc() {
+        return;
+    }
+    let surface: Vec<(&str, usize, usize)> = rigs()
+        .iter()
+        .filter(|r| !r.ir.superplans().is_empty())
+        .map(|r| (r.name, r.ir.superplans().len(), r.api.superplans.len()))
+        .collect();
+    assert_eq!(
+        surface,
+        vec![
+            ("ide", 2, 2),
+            ("permedia2", 3, 3),
+            ("ne2000", 1, 1),
+            ("pic8259", 1, 1),
+            ("selfw", 1, 1),
+            ("memw", 1, 0),
+            ("nestedc", 1, 1),
+            ("nestede", 1, 1),
+            ("selfact", 1, 1),
+        ],
+        "fused stub surface drifted"
+    );
+    let memw = rigs().iter().find(|r| r.name == "memw").unwrap();
+    let header = devil_codegen::emit_c(&memw.ir, "memw");
+    assert!(header.contains("superplan `burst`: not emittable"), "{header}");
+}
+
+/// The deterministic superplan sweep, compiled fused bodies vs the
+/// fused interpreter path: identical bus logs (one word at a time, so
+/// block bursts are compared cycle-for-cycle), outputs, read-block
+/// contents and final cache state.
+#[test]
+fn superplan_sweep_matches_compiled_stubs() {
+    if skip_without_cc() {
+        return;
+    }
+    for rig in rigs().iter().filter(|r| !r.api.superplans.is_empty()) {
+        let seq = super_sweep(&rig.ir);
+        if let Err(e) = check_compiled_super(&rig.stub, &rig.ir, &rig.api, &seq) {
+            panic!("{}: {e}", rig.name);
+        }
+    }
+}
+
 /// Sensitivity of the oracle on the new guard sources: dropping one
 /// input-guarded write from the compiled side must surface as a
 /// divergence (extends the PR-4 preset-dropping sensitivity test).
@@ -284,6 +346,21 @@ proptest! {
         for rig in rigs() {
             let ops = decode(&rig.ir, &words);
             let r = check_compiled(&rig.stub, &rig.ir, &rig.api, &ops);
+            prop_assert!(r.is_ok(), "{}: {}", rig.name, r.err().unwrap_or_default());
+        }
+    }
+
+    /// Random interleavings of op preludes and superplan calls: the
+    /// compiled fused bodies and the fused interpreter path must be
+    /// observationally identical on the emittable surface.
+    #[test]
+    fn compiled_superplans_and_interpreter_agree(words in collection::vec(any::<u64>(), 2..32)) {
+        if skip_without_cc() {
+            return Ok(());
+        }
+        for rig in rigs().iter().filter(|r| !r.api.superplans.is_empty()) {
+            let seq = decode_super(&rig.ir, &words);
+            let r = check_compiled_super(&rig.stub, &rig.ir, &rig.api, &seq);
             prop_assert!(r.is_ok(), "{}: {}", rig.name, r.err().unwrap_or_default());
         }
     }

@@ -241,3 +241,61 @@ fn nested_conditional_on_entry_state_guard_splits() {
     ];
     check_equivalence(&ir, &ops).unwrap();
 }
+
+/// Fused superplans inherit cause 2's one remaining dynamic fallback:
+/// a fused sequence crossing a cell-guarded access must abandon fusion
+/// when the cell holds an out-of-range value (cells store unmasked),
+/// re-dispatching op by op — observably identically to never having
+/// fused, with the miss visible in the stats.
+#[test]
+fn fused_superplan_cell_miss_falls_back_observably_identically() {
+    use devil_fuzz::superfuzz::{check_superplan_equivalence, install_synthetic, SuperCall};
+
+    let mut ir = ir(synthetic::MEM_TESTED);
+    install_synthetic("memw", &mut ir);
+    let sid = ir.superplan_id("burst").expect("fixture superplan installed");
+    let m = ir.var_id("m").unwrap();
+
+    let mut inst = DeviceInstance::new(ir.clone());
+    let mut dev = FakeAccess::new();
+
+    // In-range cell: one fused dispatch, no general interpreter.
+    inst.write_id(&mut dev, m, &[], 1).unwrap();
+    inst.run_superplan(&mut dev, sid, &[0x2a, 0b11], &[], &mut [], &mut []).unwrap();
+    let st = inst.plan_stats();
+    assert_eq!(st.fused, 1, "in-range cell dispatches fused: {st:?}");
+    assert_eq!(inst.superplan_hits()[sid], 1);
+    assert_eq!(st.general, 0, "{st:?}");
+    // Hand oracle: resta=0x2a flushes `a` with w's low bit uncached
+    // (0x54); w=0b11 flushes `a` (0x55) and, with m=1, `c` (1).
+    assert_eq!(dev.log, vec![(true, 0, 0, 0x54), (true, 0, 0, 0x55), (true, 0, 1, 1)]);
+
+    // Out-of-range cell: fused selection misses, the sequence falls
+    // back, and the cell-guarded write drops to the general path.
+    inst.write_id(&mut dev, m, &[], 7).unwrap();
+    let mark = dev.log.len();
+    inst.run_superplan(&mut dev, sid, &[0x2a, 0b11], &[], &mut [], &mut []).unwrap();
+    let st = inst.plan_stats();
+    assert_eq!(st.fused, 1, "no second fused dispatch: {st:?}");
+    assert_eq!(inst.superplan_hits()[sid], 1, "hit counts exclude fallbacks");
+    assert!(st.general > 0, "cell miss falls back loudly in the stats: {st:?}");
+    assert_eq!(
+        &dev.log[mark..],
+        &[(true, 0, 0, 0x55), (true, 0, 0, 0x55)],
+        "7 != true: both writes flush only `a`"
+    );
+
+    // And the whole shape — fused attempt, miss, fallback — must stay
+    // differentially identical to the always-unfused reference.
+    let seq = vec![
+        (
+            vec![Op::WriteVar { vid: m, args: vec![], value: 1 }],
+            SuperCall { sid, args: vec![0x2a, 0b11], block_out: vec![], block_in_len: 0 },
+        ),
+        (
+            vec![Op::WriteVar { vid: m, args: vec![], value: 0x5a5a }],
+            SuperCall { sid, args: vec![0x15, 0b01], block_out: vec![], block_in_len: 0 },
+        ),
+    ];
+    check_superplan_equivalence(&ir, &seq).unwrap();
+}

@@ -21,7 +21,7 @@
 
 use crate::access::DeviceAccess;
 use crate::error::{RtError, RtResult};
-use devil_ir::{DeviceIr, PlanStep};
+use devil_ir::{DeviceIr, FuseOp, PlanStep};
 use devil_sema::model::{
     Action, ActionTarget, ActionValue, ChunkArg, CondSem, Neutral, RegId, SerStep, StructId,
     TypeSem, VarId,
@@ -49,6 +49,11 @@ pub struct PlanStats {
     /// Memory-cell variables themselves dispatch on (trivial) plans
     /// and count as `straight`.
     pub general: u64,
+    /// Fused superplan dispatches: whole driver-declared hot sequences
+    /// executed as one guard evaluation plus one arena walk
+    /// ([`DeviceInstance::run_superplan`]). Per-superplan counts are in
+    /// [`DeviceInstance::superplan_hits`].
+    pub fused: u64,
 }
 
 /// A register's pre/post/set action lists, shared by `Arc` handle.
@@ -180,6 +185,9 @@ pub struct DeviceInstance {
     fast_plans: bool,
     /// Dispatch counters (see [`PlanStats`]).
     stats: PlanStats,
+    /// Per-superplan fused-dispatch counts, indexed like
+    /// [`DeviceIr::superplans`].
+    superplan_hits: Vec<u64>,
     /// Reusable `RegId` buffers for the general path's
     /// serialization-order flattening. A pool rather than a single
     /// buffer: actions recurse into nested accesses, each popping its
@@ -198,6 +206,7 @@ pub struct InstanceSnapshot {
     family_cache: HashMap<(u32, ArgBuf), u64>,
     mem: Vec<u64>,
     stats: PlanStats,
+    superplan_hits: Vec<u64>,
 }
 
 /// Instances hold only owned state plus an `Arc` of the immutable IR,
@@ -221,6 +230,7 @@ impl DeviceInstance {
         let mem = vec![0; ir.mem_cells];
         let slots = vec![0; ir.cache_slots];
         let slot_valid = vec![false; ir.cache_slots];
+        let superplan_hits = vec![0; ir.superplans().len()];
         DeviceInstance {
             ir,
             slots,
@@ -230,6 +240,7 @@ impl DeviceInstance {
             checks: false,
             fast_plans: true,
             stats: PlanStats::default(),
+            superplan_hits,
             order_pool: Vec::new(),
         }
     }
@@ -248,6 +259,7 @@ impl DeviceInstance {
             family_cache: self.family_cache.clone(),
             mem: self.mem.clone(),
             stats: self.stats,
+            superplan_hits: self.superplan_hits.clone(),
         }
     }
 
@@ -256,11 +268,17 @@ impl DeviceInstance {
     pub fn restore(&mut self, snap: &InstanceSnapshot) {
         assert_eq!(snap.slots.len(), self.slots.len(), "snapshot from a different IR");
         assert_eq!(snap.mem.len(), self.mem.len(), "snapshot from a different IR");
+        assert_eq!(
+            snap.superplan_hits.len(),
+            self.superplan_hits.len(),
+            "snapshot from a different IR"
+        );
         self.slots.copy_from_slice(&snap.slots);
         self.slot_valid.copy_from_slice(&snap.slot_valid);
         self.family_cache.clone_from(&snap.family_cache);
         self.mem.copy_from_slice(&snap.mem);
         self.stats = snap.stats;
+        self.superplan_hits.copy_from_slice(&snap.superplan_hits);
     }
 
     /// Enables or disables debug-mode run-time checks (the paper's
@@ -291,6 +309,13 @@ impl DeviceInstance {
     /// Clears the dispatch counters.
     pub fn reset_plan_stats(&mut self) {
         self.stats = PlanStats::default();
+        self.superplan_hits.fill(0);
+    }
+
+    /// Per-superplan fused-dispatch counts, indexed like
+    /// [`DeviceIr::superplans`].
+    pub fn superplan_hits(&self) -> &[u64] {
+        &self.superplan_hits
     }
 
     /// The flat cache: per-slot raw values and their validity flags.
@@ -440,6 +465,7 @@ impl DeviceInstance {
                                 ir.variant_steps(variant),
                                 args,
                                 0,
+                                &mut SuperIo::none(),
                             );
                         }
                         if variant.guards.is_empty() {
@@ -534,7 +560,16 @@ impl DeviceInstance {
         let Some(variant) = plan.select_variant(slots, slot_valid, mem, value) else {
             return false;
         };
-        exec_plan_steps(dev, slots, slot_valid, mem, ir.variant_steps(variant), args, value);
+        exec_plan_steps(
+            dev,
+            slots,
+            slot_valid,
+            mem,
+            ir.variant_steps(variant),
+            args,
+            value,
+            &mut SuperIo::none(),
+        );
         if variant.guards.is_empty() {
             stats.straight += 1;
         } else {
@@ -618,7 +653,16 @@ impl DeviceInstance {
             let DeviceInstance { ir, slots, slot_valid, mem, stats, .. } = &mut *self;
             if let Some(plan) = &ir.strct(sid).read_plan {
                 if let Some(variant) = plan.select_variant(slots, slot_valid, mem, 0) {
-                    exec_plan_steps(dev, slots, slot_valid, mem, ir.variant_steps(variant), &[], 0);
+                    exec_plan_steps(
+                        dev,
+                        slots,
+                        slot_valid,
+                        mem,
+                        ir.variant_steps(variant),
+                        &[],
+                        0,
+                        &mut SuperIo::none(),
+                    );
                     if variant.guards.is_empty() {
                         stats.straight += 1;
                     } else {
@@ -740,6 +784,7 @@ impl DeviceInstance {
                             ir.variant_steps(variant),
                             &[],
                             0,
+                            &mut SuperIo::none(),
                         );
                         if variant.guards.is_empty() {
                             stats.straight += 1;
@@ -791,6 +836,16 @@ impl DeviceInstance {
         buf: &mut [u64],
     ) -> RtResult<()> {
         let vid = self.var_id(name)?;
+        self.read_block_id(dev, vid, buf)
+    }
+
+    /// Block-reads a `block` variable by id.
+    pub fn read_block_id(
+        &mut self,
+        dev: &mut dyn DeviceAccess,
+        vid: VarId,
+        buf: &mut [u64],
+    ) -> RtResult<()> {
         let (rid, binding_offset, width) = self.block_target(vid, /*write=*/ false)?;
         let (pre, post, set) = self.reg_actions(rid);
         self.run_actions(dev, &pre, &[], 1)?;
@@ -809,6 +864,16 @@ impl DeviceInstance {
         buf: &[u64],
     ) -> RtResult<()> {
         let vid = self.var_id(name)?;
+        self.write_block_id(dev, vid, buf)
+    }
+
+    /// Block-writes a `block` variable by id.
+    pub fn write_block_id(
+        &mut self,
+        dev: &mut dyn DeviceAccess,
+        vid: VarId,
+        buf: &[u64],
+    ) -> RtResult<()> {
         let (rid, binding_offset, width) = self.block_target(vid, /*write=*/ true)?;
         let (pre, post, set) = self.reg_actions(rid);
         self.run_actions(dev, &pre, &[], 1)?;
@@ -816,6 +881,117 @@ impl DeviceInstance {
         dev.write_block(port.0 as usize, binding_offset, width, buf);
         self.run_actions(dev, &post, &[], 1)?;
         self.run_actions(dev, &set, &[], 1)?;
+        Ok(())
+    }
+
+    // ---- superplans ----
+
+    /// Runs a fused superplan: the stage prefix, one selector
+    /// evaluation, and the selected variant's contiguous arena range —
+    /// replacing the op sequence's N guarded dispatches with one.
+    ///
+    /// `args` are the superplan operands (at least
+    /// [`devil_ir::Superplan::args`] of them), `block_out`/`block_in`
+    /// the buffers of its block ops (any length, including empty), and
+    /// `outs` receives the fused read ops' values (at least
+    /// [`devil_ir::Superplan::outputs`] slots).
+    ///
+    /// The fused body issues the identical device-op stream the op
+    /// sequence would issue unfused, so ledgers, device state and cache
+    /// state are bit-identical either way. When the fused selection
+    /// cannot describe the state — a memory cell holding a value
+    /// outside its variable's raw space — the whole sequence falls back
+    /// to [`DeviceInstance::run_superplan_unfused`]: re-staging through
+    /// the general path stores the same values again (idempotent), so
+    /// the fallback is observably identical to never having fused.
+    pub fn run_superplan(
+        &mut self,
+        dev: &mut dyn DeviceAccess,
+        sid: usize,
+        args: &[u64],
+        block_out: &[u64],
+        block_in: &mut [u64],
+        outs: &mut [u64],
+    ) -> RtResult<()> {
+        if self.fast_plans && !self.checks {
+            let DeviceInstance { ir, slots, slot_valid, mem, stats, superplan_hits, .. } =
+                &mut *self;
+            let Some(sp) = ir.superplans().get(sid) else {
+                return Err(RtError::Unknown(format!("superplan #{sid}")));
+            };
+            if sp.plan.max_depth <= MAX_DEPTH {
+                let mut io = SuperIo { block_out, block_in, outs };
+                exec_plan_steps(
+                    dev,
+                    slots,
+                    slot_valid,
+                    mem,
+                    ir.variant_steps(&sp.stage),
+                    args,
+                    0,
+                    &mut io,
+                );
+                if let Some(variant) = sp.plan.select_variant(slots, slot_valid, mem, 0) {
+                    exec_plan_steps(
+                        dev,
+                        slots,
+                        slot_valid,
+                        mem,
+                        ir.variant_steps(variant),
+                        args,
+                        0,
+                        &mut io,
+                    );
+                    stats.fused += 1;
+                    superplan_hits[sid] += 1;
+                    return Ok(());
+                }
+            }
+        }
+        self.run_superplan_unfused(dev, sid, args, block_out, block_in, outs)
+    }
+
+    /// Runs a superplan's declared op sequence unfused, op by op,
+    /// through the ordinary dispatch paths — the differential reference
+    /// for fused execution, and the fallback when fused selection
+    /// misses (an out-of-range memory cell) or plans are off.
+    pub fn run_superplan_unfused(
+        &mut self,
+        dev: &mut dyn DeviceAccess,
+        sid: usize,
+        args: &[u64],
+        block_out: &[u64],
+        block_in: &mut [u64],
+        outs: &mut [u64],
+    ) -> RtResult<()> {
+        let ir = self.shared_ir();
+        let Some(sp) = ir.superplans().get(sid) else {
+            return Err(RtError::Unknown(format!("superplan #{sid}")));
+        };
+        let mut out_idx = 0usize;
+        for op in &sp.ops {
+            match op {
+                FuseOp::SetField { var, value } => {
+                    self.set_field_id(*var, value.resolve(args, 0))?;
+                }
+                FuseOp::Write { var, value } => {
+                    self.write_id(dev, *var, &[], value.resolve(args, 0))?;
+                }
+                FuseOp::Read { var } => {
+                    outs[out_idx] = self.read_id(dev, *var, &[])?;
+                    out_idx += 1;
+                }
+                FuseOp::WriteStruct { strct } => {
+                    self.write_struct_id(dev, *strct)?;
+                }
+                FuseOp::ReadBlock { var } => {
+                    self.read_block_id(dev, *var, block_in)?;
+                }
+                FuseOp::WriteBlock { var } => {
+                    self.write_block_id(dev, *var, block_out)?;
+                }
+            }
+        }
         Ok(())
     }
 
@@ -1155,12 +1331,34 @@ impl DeviceInstance {
     }
 }
 
+/// The vectored-I/O surface of one superplan dispatch: the caller's
+/// block buffers and output vector. Plain plan executions pass empty
+/// buffers — their steps never touch them.
+struct SuperIo<'a> {
+    /// Words for the (at most one) fused block write.
+    block_out: &'a [u64],
+    /// Buffer for the (at most one) fused block read.
+    block_in: &'a mut [u64],
+    /// Fused read-op outputs, in op order.
+    outs: &'a mut [u64],
+}
+
+impl SuperIo<'_> {
+    /// An empty I/O surface for non-superplan plan executions.
+    fn none() -> Self {
+        SuperIo { block_out: &[], block_in: &mut [], outs: &mut [] }
+    }
+}
+
 /// Executes a precompiled straight-line plan: device reads into flat
-/// cache slots, composed masked writes, and folded memory-cell updates.
-/// `args` are the (already validated) family arguments and `input` the
-/// value being written, if any. This is the whole steady-state hot
-/// path: mask/shift arithmetic and slot indexing only — no hashing, no
-/// name resolution, no action interpretation.
+/// cache slots, composed masked writes, folded memory-cell updates, and
+/// (for fused superplans) vectored block transfers and in-place output
+/// assembly. `args` are the (already validated) family arguments — for
+/// superplans, the operand vector — and `input` the value being
+/// written, if any. This is the whole steady-state hot path: mask/shift
+/// arithmetic and slot indexing only — no hashing, no name resolution,
+/// no action interpretation.
+#[allow(clippy::too_many_arguments)]
 fn exec_plan_steps(
     dev: &mut dyn DeviceAccess,
     slots: &mut [u64],
@@ -1169,6 +1367,7 @@ fn exec_plan_steps(
     steps: &[PlanStep],
     args: &[u64],
     input: u64,
+    io: &mut SuperIo<'_>,
 ) {
     for step in steps {
         match step {
@@ -1208,6 +1407,19 @@ fn exec_plan_steps(
                 slot_valid[slot] = true;
             }
             PlanStep::SetCell { cell, value } => mem[*cell] = value.resolve(args, input),
+            PlanStep::BlockIn { port, offset, size } => {
+                dev.read_block(*port as usize, *offset, *size, io.block_in);
+            }
+            PlanStep::BlockOut { port, offset, size } => {
+                dev.write_block(*port as usize, *offset, *size, io.block_out);
+            }
+            PlanStep::Assemble { out, segs } => {
+                let mut v = 0u64;
+                for &(slot, seg) in segs {
+                    v |= seg.extract(slots[slot]);
+                }
+                io.outs[*out as usize] = v;
+            }
         }
     }
 }

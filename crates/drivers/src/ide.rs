@@ -165,6 +165,10 @@ pub struct DevilIde {
     bm_intr: devil_sema::model::VarId,
     /// `bm_dir`'s TO_MEMORY symbol value, resolved once.
     bm_to_memory: u64,
+    /// Resolved-once superplan ids of the fused per-interrupt PIO
+    /// bodies (status checks + data burst in one guard evaluation).
+    sp_pio16: usize,
+    sp_pio32: usize,
 }
 
 impl DevilIde {
@@ -191,6 +195,8 @@ impl DevilIde {
         let bm_start = bm.var_id("bm_start").expect("spec exports bm_start");
         let bm_intr = bm.var_id("bm_intr").expect("spec exports bm_intr");
         let bm_to_memory = bm.sym_value("bm_dir", "TO_MEMORY").expect("spec exports TO_MEMORY");
+        let sp_pio16 = ide.ir().superplan_id("pio_irq16").expect("ide ships pio_irq16");
+        let sp_pio32 = ide.ir().superplan_id("pio_irq32").expect("ide ships pio_irq32");
         DevilIde {
             base,
             ide,
@@ -205,6 +211,8 @@ impl DevilIde {
             bm_start,
             bm_intr,
             bm_to_memory,
+            sp_pio16,
+            sp_pio32,
         }
     }
 
@@ -325,6 +333,52 @@ impl DevilIde {
                             out.extend_from_slice(&(v as u16).to_le_bytes());
                         }
                     }
+                }
+            }
+            remaining -= block;
+        }
+        out
+    }
+
+    /// Reads `count` sectors starting at `lba` in PIO mode through the
+    /// fused superplans: each interrupt's three status stubs and the
+    /// data burst run as one superplan — one guard evaluation, one
+    /// `ins` block transaction — instead of four plan dispatches. The
+    /// op stream is identical to [`DevilIde::read_pio`] in `Block`
+    /// mode, so device state and ledgers match bit for bit.
+    pub fn read_pio_fused(
+        &mut self,
+        bus: &mut Bus,
+        lba: u32,
+        count: u32,
+        cfg: PioConfig,
+    ) -> Vec<u8> {
+        let op = if cfg.sectors_per_irq > 1 { "READ_MULTIPLE" } else { "READ_SECTORS" };
+        self.issue_read(bus, lba, count, op);
+        let mut out = Vec::with_capacity(count as usize * SECTOR_SIZE);
+        let mut buf: Vec<u64> = Vec::new();
+        let mut map = self.ide_ports(bus);
+        let mut remaining = count;
+        while remaining > 0 {
+            let block = remaining.min(cfg.sectors_per_irq);
+            let bytes = block as usize * SECTOR_SIZE;
+            let (sid, words) =
+                if cfg.io32 { (self.sp_pio32, bytes / 4) } else { (self.sp_pio16, bytes / 2) };
+            buf.clear();
+            buf.resize(words, 0);
+            let mut status = [0u64; 3];
+            self.ide
+                .run_superplan(&mut map, sid, &[], &[], &mut buf, &mut status)
+                .expect("fused PIO interrupt body");
+            assert_eq!(status[0], 1, "device must expose data");
+            assert_eq!(status[1], 0, "device reported an error");
+            if cfg.io32 {
+                for &v in &buf {
+                    out.extend_from_slice(&(v as u32).to_le_bytes());
+                }
+            } else {
+                for &v in &buf {
+                    out.extend_from_slice(&(v as u16).to_le_bytes());
                 }
             }
             remaining -= block;
@@ -494,5 +548,76 @@ mod tests {
         let l = bus.ledger();
         assert_eq!(l.block_in_words, 2 * 256);
         assert_eq!(l.block_ops, 2);
+    }
+
+    /// The fused per-interrupt superplan must issue the identical op
+    /// stream as the unfused block-move path: same data, bit-identical
+    /// ledger, identical simulated time — in every PIO geometry.
+    #[test]
+    fn fused_pio_matches_unfused_bit_for_bit() {
+        for spi in [1u32, 4] {
+            for io32 in [false, true] {
+                let cfg = PioConfig { sectors_per_irq: spi, io32, moves: PioMove::Block };
+                let (mut bus_u, _) = rig(64);
+                let mut unfused = DevilIde::new(BASE);
+                if spi > 1 {
+                    unfused.set_multiple(&mut bus_u, spi);
+                }
+                let d_u = unfused.read_pio(&mut bus_u, 1, 8, cfg);
+
+                let (mut bus_f, _) = rig(64);
+                let mut fused = DevilIde::new(BASE);
+                if spi > 1 {
+                    fused.set_multiple(&mut bus_f, spi);
+                }
+                let d_f = fused.read_pio_fused(&mut bus_f, 1, 8, cfg);
+
+                assert_eq!(d_f, d_u, "spi={spi} io32={io32}");
+                assert_eq!(d_f, expected(64, 1, 8));
+                assert_eq!(bus_f.ledger(), bus_u.ledger(), "identical op stream");
+                assert_eq!(bus_f.now_ns(), bus_u.now_ns(), "identical simulated time");
+            }
+        }
+    }
+
+    /// Fused interrupts count as superplan hits, never as general
+    /// fallbacks.
+    #[test]
+    fn fused_pio_counts_superplan_hits() {
+        let cfg = PioConfig { sectors_per_irq: 1, io32: false, moves: PioMove::Block };
+        let (mut bus, _) = rig(16);
+        let mut devil = DevilIde::new(BASE);
+        devil.read_pio_fused(&mut bus, 0, 4, cfg);
+        let stats = devil.ide_plan_stats();
+        assert_eq!(stats.fused, 4, "one superplan dispatch per interrupt: {stats:?}");
+        assert_eq!(stats.general, 0, "no general fallback: {stats:?}");
+        let (ide, _) = devil.instances();
+        let sid = ide.ir().superplan_id("pio_irq16").unwrap();
+        assert_eq!(ide.superplan_hits()[sid], 4);
+    }
+
+    /// The paper's baseline is the hand driver's per-word `inw` loop;
+    /// the fused superplan streams the data block in one string op and
+    /// must post strictly less simulated time despite its two extra
+    /// status reads per interrupt.
+    #[test]
+    fn fused_pio_beats_hand_loop_time() {
+        let cfg = PioConfig { sectors_per_irq: 1, io32: false, moves: PioMove::Loop };
+        let (mut bus_h, _) = rig(16);
+        let hand = HandIde::new(BASE);
+        let d_h = hand.read_pio(&mut bus_h, 0, 4, cfg);
+
+        let fused_cfg = PioConfig { sectors_per_irq: 1, io32: false, moves: PioMove::Block };
+        let (mut bus_f, _) = rig(16);
+        let mut devil = DevilIde::new(BASE);
+        let d_f = devil.read_pio_fused(&mut bus_f, 0, 4, fused_cfg);
+
+        assert_eq!(d_f, d_h);
+        assert!(
+            bus_f.now_ns() < bus_h.now_ns(),
+            "fused {} ns must beat hand loop {} ns",
+            bus_f.now_ns(),
+            bus_h.now_ns()
+        );
     }
 }

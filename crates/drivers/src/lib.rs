@@ -15,6 +15,7 @@ pub mod ne2000;
 pub mod pic8259;
 pub mod pm2;
 pub mod specs;
+pub mod superplans;
 
 pub use busmouse::{DevilBusmouse, HandBusmouse, MouseState};
 pub use ide::{DevilIde, HandIde, PioConfig, PioMove};

@@ -76,6 +76,9 @@ impl HandNe2000 {
 pub struct DevilNe2000 {
     base: u64,
     dev: DeviceInstance,
+    /// Resolved-once superplan id of the fused transmit body (remote
+    /// DMA setup, `outs` burst, transmit kick).
+    sp_tx: usize,
 }
 
 impl DevilNe2000 {
@@ -87,7 +90,8 @@ impl DevilNe2000 {
     /// Binds an already-built interpreter instance at `base` — the
     /// fleet-spawning path, where one shared IR backs many drivers.
     pub fn with_instance(base: u64, dev: DeviceInstance) -> Self {
-        DevilNe2000 { base, dev }
+        let sp_tx = dev.ir().superplan_id("tx").expect("ne2000 ships tx");
+        DevilNe2000 { base, dev, sp_tx }
     }
 
     /// Plan-dispatch counters of the underlying interpreter.
@@ -138,6 +142,22 @@ impl DevilNe2000 {
         self.dev.write(&mut map, "tpsr", 0x40).unwrap();
         self.dev.write(&mut map, "tbcr", frame.len() as u64).unwrap();
         self.dev.write_sym(&mut map, "txp", "SEND").unwrap();
+    }
+
+    /// Transmits a frame through the fused `tx` superplan: the eight
+    /// plan dispatches of [`DevilNe2000::send`] collapse into one guard
+    /// evaluation and one `outs` block transaction. The op stream is
+    /// identical, so device state and ledgers match bit for bit.
+    pub fn send_fused(&mut self, bus: &mut Bus, frame: &[u8]) {
+        let words: Vec<u64> = frame
+            .chunks(2)
+            .map(|c| c[0] as u64 | ((c.get(1).copied().unwrap_or(0) as u64) << 8))
+            .collect();
+        let args = [0x4000u64, frame.len() as u64, frame.len() as u64];
+        let mut map = self.ports(bus);
+        self.dev
+            .run_superplan(&mut map, self.sp_tx, &args, &words, &mut [], &mut [])
+            .expect("fused transmit body");
     }
 
     /// Receives the next pending frame, if any.
@@ -262,6 +282,57 @@ mod tests {
         let got = drv.recv(&mut bus).expect("frame pending");
         assert_eq!(got, payload);
         assert!(drv.recv(&mut bus).is_none(), "queue drained");
+    }
+
+    /// The fused `tx` superplan must issue the identical op stream as
+    /// the unfused transmit: bit-identical ledger, identical simulated
+    /// time, same interrupt outcome.
+    #[test]
+    fn fused_send_matches_unfused_bit_for_bit() {
+        let frame = [0x11u8, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88];
+        let (mut bus_u, irq_u) = rig();
+        let mut unfused = DevilNe2000::new(BASE);
+        unfused.start(&mut bus_u);
+        unfused.send(&mut bus_u, &frame);
+        assert!(irq_u.pending());
+
+        let (mut bus_f, irq_f) = rig();
+        let mut fused = DevilNe2000::new(BASE);
+        fused.start(&mut bus_f);
+        fused.send_fused(&mut bus_f, &frame);
+        assert!(irq_f.pending());
+
+        assert_eq!(bus_f.ledger(), bus_u.ledger(), "identical op stream");
+        assert_eq!(bus_f.now_ns(), bus_u.now_ns(), "identical simulated time");
+
+        let stats = fused.plan_stats();
+        assert_eq!(stats.fused, 1, "one superplan dispatch: {stats:?}");
+        assert_eq!(stats.general, 0, "no general fallback: {stats:?}");
+        let sid = fused.instance().ir().superplan_id("tx").unwrap();
+        assert_eq!(fused.instance().superplan_hits()[sid], 1);
+    }
+
+    /// The hand driver moves the frame with a per-word `outw` loop; the
+    /// fused superplan streams it in one `outs` block transaction and
+    /// must post strictly less simulated time for the transmit.
+    #[test]
+    fn fused_send_beats_hand_loop_time() {
+        let frame: Vec<u8> = (0..1024).map(|i| (i & 0xff) as u8).collect();
+        let (mut bus_h, _) = rig();
+        let hand = HandNe2000::new(BASE);
+        hand.start(&mut bus_h);
+        let t0_h = bus_h.now_ns();
+        hand.send(&mut bus_h, &frame);
+        let hand_ns = bus_h.now_ns() - t0_h;
+
+        let (mut bus_f, _) = rig();
+        let mut devil = DevilNe2000::new(BASE);
+        devil.start(&mut bus_f);
+        let t0_f = bus_f.now_ns();
+        devil.send_fused(&mut bus_f, &frame);
+        let fused_ns = bus_f.now_ns() - t0_f;
+
+        assert!(fused_ns < hand_ns, "fused {fused_ns} ns must beat hand loop {hand_ns} ns");
     }
 
     #[test]

@@ -98,6 +98,9 @@ pub struct DevilPic8259 {
     aeoi: VarId,
     microprocessor: VarId,
     irq_mask: VarId,
+    /// Resolved-once superplan id of the fused ICW init (stage all
+    /// eleven fields, flush the guarded serialization, one selection).
+    sp_init: usize,
 }
 
 impl DevilPic8259 {
@@ -125,6 +128,7 @@ impl DevilPic8259 {
             aeoi: field("aeoi"),
             microprocessor: field("microprocessor"),
             irq_mask: field("irq_mask"),
+            sp_init: ir.superplan_id("icw_init").expect("pic8259 ships icw_init"),
             dev,
         }
     }
@@ -169,6 +173,27 @@ impl DevilPic8259 {
         d.set_field_id(self.irq_mask, cfg.irq_mask as u64).unwrap();
         let mut map = PortMap::new(bus, vec![MappedPort::io(self.base)]);
         d.write_struct_id(&mut map, self.init).expect("init flush");
+    }
+
+    /// Runs the full ICW initialization through the fused `icw_init`
+    /// superplan: the eleven field stages and the guarded flush of
+    /// [`DevilPic8259::init`] collapse into one entry-time variant
+    /// selection. The op stream is identical, so device state and
+    /// ledgers match bit for bit.
+    pub fn init_fused(&mut self, bus: &mut Bus, cfg: PicConfig) {
+        let args = [
+            cfg.with_icw4 as u64,
+            cfg.single as u64,
+            (cfg.vector_base >> 3) as u64,
+            cfg.cascade_map as u64,
+            cfg.auto_eoi as u64,
+            cfg.x86 as u64,
+            cfg.irq_mask as u64,
+        ];
+        let mut map = PortMap::new(bus, vec![MappedPort::io(self.base)]);
+        self.dev
+            .run_superplan(&mut map, self.sp_init, &args, &[], &mut [], &mut [])
+            .expect("fused init flush");
     }
 
     /// Reads back the interrupt mask register (raw port read; the spec
@@ -265,6 +290,30 @@ mod tests {
         let stats = devil.plan_stats();
         assert_eq!(stats.guarded, 1, "the conditional flush must take a guarded variant");
         assert_eq!(stats.general, 0, "no general-interpreter fallback in fast mode");
+    }
+
+    /// The fused `icw_init` superplan must issue the identical op
+    /// stream as the stage-then-flush path in every ICW combination —
+    /// the `sngl`/`ic4` guard split selects the same serialization.
+    #[test]
+    fn fused_init_matches_unfused_in_every_icw_combination() {
+        for (i, cfg) in configs().into_iter().enumerate() {
+            let mut bus_u = rig();
+            let mut unfused = DevilPic8259::new(BASE);
+            unfused.init(&mut bus_u, cfg);
+
+            let mut bus_f = rig();
+            let mut fused = DevilPic8259::new(BASE);
+            fused.init_fused(&mut bus_f, cfg);
+
+            assert_eq!(bus_f.ledger(), bus_u.ledger(), "config {i}: identical op stream");
+            assert_eq!(bus_f.now_ns(), bus_u.now_ns(), "config {i}: identical time");
+            assert_eq!(fused.irq_mask(&mut bus_f), unfused.irq_mask(&mut bus_u), "config {i}");
+
+            let stats = fused.plan_stats();
+            assert_eq!(stats.fused, 1, "config {i}: one superplan dispatch: {stats:?}");
+            assert_eq!(stats.general, 0, "config {i}: no general fallback: {stats:?}");
+        }
     }
 
     #[test]

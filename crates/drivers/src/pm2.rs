@@ -170,6 +170,11 @@ pub struct DevilPm2 {
     pub wait_iterations: u64,
     /// Wait loops performed.
     pub wait_loops: u64,
+    /// Resolved-once superplan ids of the fused fill-rectangle write
+    /// bursts (the FIFO polls between them stay plan-dispatched).
+    sp_fill24: usize,
+    sp_fill_setup: usize,
+    sp_fill_finish: usize,
 }
 
 impl DevilPm2 {
@@ -182,7 +187,20 @@ impl DevilPm2 {
     /// fleet-spawning path, where one shared IR backs many drivers.
     pub fn with_instance(base: u64, depth: Depth, dev: DeviceInstance) -> Self {
         let fifo_space = dev.var_id("fifo_space").expect("spec exports fifo_space");
-        DevilPm2 { base, depth, dev, fifo_space, wait_iterations: 0, wait_loops: 0 }
+        let sp = |n: &str| dev.ir().superplan_id(n).unwrap_or_else(|| panic!("pm2 ships {n}"));
+        let (sp_fill24, sp_fill_setup, sp_fill_finish) =
+            (sp("fill24_burst"), sp("fill_std_setup"), sp("fill_std_finish"));
+        DevilPm2 {
+            base,
+            depth,
+            dev,
+            fifo_space,
+            wait_iterations: 0,
+            wait_loops: 0,
+            sp_fill24,
+            sp_fill_setup,
+            sp_fill_finish,
+        }
     }
 
     /// Plan-dispatch counters of the underlying interpreter.
@@ -265,6 +283,44 @@ impl DevilPm2 {
         self.dev.write(&mut map, "span_mode", 0).unwrap();
         self.dev.write(&mut map, "write_mask", 1).unwrap();
         self.dev.write(&mut map, "span_mode", 1).unwrap();
+        drop(map);
+        self.wait_fifo(bus, 1);
+        let mut map = self.ports(bus);
+        self.dev.write_sym(&mut map, "render_op", "FILL").unwrap();
+    }
+
+    /// Fills a rectangle through the fused write-burst superplans: the
+    /// 9/10/6-write bursts of [`DevilPm2::fill_rect`] each run as one
+    /// guard evaluation instead of per-write plan dispatches, while the
+    /// FIFO polls between them stay plan-dispatched (they loop on
+    /// device state). The op stream is identical, so device state and
+    /// ledgers match bit for bit.
+    pub fn fill_rect_fused(&mut self, bus: &mut Bus, x: u32, y: u32, w: u32, h: u32, color: u32) {
+        if self.depth == Depth::Bpp24 {
+            self.wait_fifo(bus, 9);
+            let args = [x as u64, y as u64, w as u64, h as u64, color as u64];
+            let mut map = self.ports(bus);
+            self.dev
+                .run_superplan(&mut map, self.sp_fill24, &args, &[], &mut [], &mut [])
+                .expect("fused 24bpp fill burst");
+            drop(map);
+            self.wait_fifo(bus, 1);
+            let mut map = self.ports(bus);
+            self.dev.write_sym(&mut map, "render_op", "FILL").unwrap();
+            return;
+        }
+        self.wait_fifo(bus, 10);
+        let args = [x as u64, y as u64, w as u64, h as u64];
+        let mut map = self.ports(bus);
+        self.dev
+            .run_superplan(&mut map, self.sp_fill_setup, &args, &[], &mut [], &mut [])
+            .expect("fused fill setup burst");
+        drop(map);
+        self.wait_fifo(bus, 6);
+        let mut map = self.ports(bus);
+        self.dev
+            .run_superplan(&mut map, self.sp_fill_finish, &[color as u64], &[], &mut [], &mut [])
+            .expect("fused fill finish burst");
         drop(map);
         self.wait_fifo(bus, 1);
         let mut map = self.ports(bus);
@@ -378,6 +434,33 @@ mod tests {
         devil.fill_rect(&mut bus_d, 0, 0, 10, 10, 1);
         let d_d = bus_d.ledger().since(&b_d);
         assert_eq!(d_d.mem_write - d_h.mem_write, 2, "paper: +2 ops per primitive");
+    }
+
+    /// The fused write-burst superplans must issue the identical op
+    /// stream as the per-write path, at every depth: bit-identical
+    /// ledger, identical simulated time, one superplan dispatch per
+    /// burst, zero general fallbacks.
+    #[test]
+    fn fused_fill_matches_unfused_bit_for_bit() {
+        for depth in [Depth::Bpp8, Depth::Bpp16, Depth::Bpp24, Depth::Bpp32] {
+            let mut bus_u = rig();
+            let mut unfused = DevilPm2::new(BASE, depth);
+            unfused.set_depth(&mut bus_u);
+            unfused.fill_rect(&mut bus_u, 5, 6, 20, 10, 0xabcdef);
+
+            let mut bus_f = rig();
+            let mut fused = DevilPm2::new(BASE, depth);
+            fused.set_depth(&mut bus_f);
+            fused.fill_rect_fused(&mut bus_f, 5, 6, 20, 10, 0xabcdef);
+
+            assert_eq!(bus_f.ledger(), bus_u.ledger(), "{depth:?}: identical op stream");
+            assert_eq!(bus_f.now_ns(), bus_u.now_ns(), "{depth:?}: identical time");
+
+            let stats = fused.plan_stats();
+            let bursts = if depth == Depth::Bpp24 { 1 } else { 2 };
+            assert_eq!(stats.fused, bursts, "{depth:?}: {stats:?}");
+            assert_eq!(stats.general, 0, "{depth:?}: no general fallback: {stats:?}");
+        }
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub fn shared_ir(source: &str) -> Arc<DeviceIr> {
         let sm = devil_syntax::SourceMap::new("<embedded>", source);
         panic!("embedded spec failed to check:\n{}", diags.render_all(&sm));
     });
-    Arc::new(devil_ir::lower(&model))
+    let mut ir = devil_ir::lower(&model);
+    crate::superplans::install(&mut ir);
+    Arc::new(ir)
 }
 
 #[cfg(test)]

@@ -1,0 +1,189 @@
+//! Driver-declared hot-sequence fusions ("superplans").
+//!
+//! Each driver names the op sequences it issues on its hot paths; the
+//! fusion pass compiles each into one contiguous plan range with a
+//! single entry-time guard evaluation and block I/O lowered to
+//! string-op bus transactions. The declarations live here — next to
+//! the drivers, not in the compiler — because *which* sequences are
+//! hot is driver knowledge, exactly like the paper's hand-tuned fast
+//! paths, but the fused bodies stay compiler-verified against the
+//! specification.
+//!
+//! `install` panics on a fusion error: every declaration below is
+//! covered by the embedded-spec tests, so a failure here is a spec or
+//! compiler regression, not an input problem.
+
+use devil_ir::{DeviceIr, FuseOp, PlanValue};
+use devil_sema::model::TypeSem;
+
+/// Resolves an enum symbol of `var` to its raw value.
+fn sym(ir: &DeviceIr, var: &str, symbol: &str) -> u64 {
+    let vid = ir.var_id(var).unwrap_or_else(|| panic!("spec exports {var}"));
+    match &ir.var(vid).ty {
+        TypeSem::Enum(en) => {
+            en.value_of(symbol).unwrap_or_else(|| panic!("{var} has symbol {symbol}"))
+        }
+        _ => panic!("{var} is not an enum"),
+    }
+}
+
+fn var(ir: &DeviceIr, name: &str) -> devil_sema::model::VarId {
+    ir.var_id(name).unwrap_or_else(|| panic!("spec exports {name}"))
+}
+
+fn fuse(ir: &mut DeviceIr, name: &str, ops: Vec<FuseOp>) {
+    if let Err(e) = ir.fuse(name, ops) {
+        panic!("superplan `{name}` failed to fuse: {e}");
+    }
+}
+
+/// Installs the shipped superplans for `ir`'s device, if any. Devices
+/// without declared hot sequences are left untouched.
+pub fn install(ir: &mut DeviceIr) {
+    match ir.name.clone().as_str() {
+        "ide" => ide(ir),
+        "ne2000" => ne2000(ir),
+        "pic8259" => pic8259(ir),
+        "permedia2" => permedia2(ir),
+        _ => {}
+    }
+}
+
+/// The per-interrupt PIO read: three status checks then the data-block
+/// string read, fused into one guard evaluation + one `ins` burst.
+fn ide(ir: &mut DeviceIr) {
+    let drq = var(ir, "drq");
+    let err = var(ir, "err");
+    let bsy = var(ir, "bsy");
+    let data16 = var(ir, "Ide_data");
+    let data32 = var(ir, "Ide_data32");
+    fuse(
+        ir,
+        "pio_irq16",
+        vec![
+            FuseOp::Read { var: drq },
+            FuseOp::Read { var: err },
+            FuseOp::Read { var: bsy },
+            FuseOp::ReadBlock { var: data16 },
+        ],
+    );
+    fuse(
+        ir,
+        "pio_irq32",
+        vec![
+            FuseOp::Read { var: drq },
+            FuseOp::Read { var: err },
+            FuseOp::Read { var: bsy },
+            FuseOp::ReadBlock { var: data32 },
+        ],
+    );
+}
+
+/// The transmit path: remote-DMA setup, the `outs` data burst, and the
+/// transmit kick. The write-trigger selectors (`rd`, `rdc`, `txp`) are
+/// resolved statically from the constant operands at fuse time.
+fn ne2000(ir: &mut DeviceIr) {
+    let rsar = var(ir, "rsar");
+    let rbcr = var(ir, "rbcr");
+    let rd = var(ir, "rd");
+    let remote_data = var(ir, "remote_data");
+    let rdc = var(ir, "rdc");
+    let tpsr = var(ir, "tpsr");
+    let tbcr = var(ir, "tbcr");
+    let txp = var(ir, "txp");
+    let rwrite = sym(ir, "rd", "RWRITE");
+    let send = sym(ir, "txp", "SEND");
+    fuse(
+        ir,
+        "tx",
+        vec![
+            FuseOp::Write { var: rsar, value: PlanValue::Arg(0) },
+            FuseOp::Write { var: rbcr, value: PlanValue::Arg(1) },
+            FuseOp::Write { var: rd, value: PlanValue::Const(rwrite) },
+            FuseOp::WriteBlock { var: remote_data },
+            FuseOp::Write { var: rdc, value: PlanValue::Const(1) },
+            FuseOp::Write { var: tpsr, value: PlanValue::Const(0x40) },
+            FuseOp::Write { var: tbcr, value: PlanValue::Arg(2) },
+            FuseOp::Write { var: txp, value: PlanValue::Const(send) },
+        ],
+    );
+}
+
+/// The full ICW init: stage all eleven fields, then flush the guarded
+/// serialization (`sngl` gates ICW3, `ic4` gates ICW4) with one
+/// entry-time variant selection.
+fn pic8259(ir: &mut DeviceIr) {
+    let f = |ir: &DeviceIr, n: &str| var(ir, n);
+    let ops = vec![
+        FuseOp::SetField { var: f(ir, "ic4"), value: PlanValue::Arg(0) },
+        FuseOp::SetField { var: f(ir, "sngl"), value: PlanValue::Arg(1) },
+        FuseOp::SetField { var: f(ir, "adi"), value: PlanValue::Const(0) },
+        FuseOp::SetField { var: f(ir, "ltim"), value: PlanValue::Const(0) },
+        FuseOp::SetField { var: f(ir, "vector_base"), value: PlanValue::Arg(2) },
+        FuseOp::SetField { var: f(ir, "cascade_map"), value: PlanValue::Arg(3) },
+        FuseOp::SetField { var: f(ir, "sfnm"), value: PlanValue::Const(0) },
+        FuseOp::SetField { var: f(ir, "buffered"), value: PlanValue::Const(0) },
+        FuseOp::SetField { var: f(ir, "aeoi"), value: PlanValue::Arg(4) },
+        FuseOp::SetField { var: f(ir, "microprocessor"), value: PlanValue::Arg(5) },
+        FuseOp::SetField { var: f(ir, "irq_mask"), value: PlanValue::Arg(6) },
+        FuseOp::WriteStruct { strct: ir.struct_id("init").expect("spec exports init") },
+    ];
+    fuse(ir, "icw_init", ops);
+}
+
+/// The fill-rectangle write bursts. The FIFO-space polls between
+/// bursts stay plan-dispatched (they loop on device state), so the
+/// driver wraps these three fusions around its existing `wait_fifo`.
+fn permedia2(ir: &mut DeviceIr) {
+    let logical_op = var(ir, "logical_op");
+    let write_mask = var(ir, "write_mask");
+    let span_mode = var(ir, "span_mode");
+    let dst_x = var(ir, "dst_x");
+    let dst_y = var(ir, "dst_y");
+    let rect_w = var(ir, "rect_w");
+    let rect_h = var(ir, "rect_h");
+    let fill_color = var(ir, "fill_color");
+    fuse(
+        ir,
+        "fill24_burst",
+        vec![
+            FuseOp::Write { var: logical_op, value: PlanValue::Const(0x3) },
+            FuseOp::Write { var: write_mask, value: PlanValue::Const(0) },
+            FuseOp::Write { var: span_mode, value: PlanValue::Const(0) },
+            FuseOp::Write { var: logical_op, value: PlanValue::Const(0) },
+            FuseOp::Write { var: dst_x, value: PlanValue::Arg(0) },
+            FuseOp::Write { var: dst_y, value: PlanValue::Arg(1) },
+            FuseOp::Write { var: rect_w, value: PlanValue::Arg(2) },
+            FuseOp::Write { var: rect_h, value: PlanValue::Arg(3) },
+            FuseOp::Write { var: fill_color, value: PlanValue::Arg(4) },
+        ],
+    );
+    fuse(
+        ir,
+        "fill_std_setup",
+        vec![
+            FuseOp::Write { var: logical_op, value: PlanValue::Const(0x3) },
+            FuseOp::Write { var: write_mask, value: PlanValue::Const(0xffff_ffff) },
+            FuseOp::Write { var: span_mode, value: PlanValue::Const(0x3) },
+            FuseOp::Write { var: logical_op, value: PlanValue::Const(0xffff_ffff) },
+            FuseOp::Write { var: write_mask, value: PlanValue::Const(0x3) },
+            FuseOp::Write { var: span_mode, value: PlanValue::Const(0xffff_ffff) },
+            FuseOp::Write { var: dst_x, value: PlanValue::Arg(0) },
+            FuseOp::Write { var: dst_y, value: PlanValue::Arg(1) },
+            FuseOp::Write { var: rect_w, value: PlanValue::Arg(2) },
+            FuseOp::Write { var: rect_h, value: PlanValue::Arg(3) },
+        ],
+    );
+    fuse(
+        ir,
+        "fill_std_finish",
+        vec![
+            FuseOp::Write { var: fill_color, value: PlanValue::Arg(0) },
+            FuseOp::Write { var: logical_op, value: PlanValue::Const(0) },
+            FuseOp::Write { var: write_mask, value: PlanValue::Const(0) },
+            FuseOp::Write { var: span_mode, value: PlanValue::Const(0) },
+            FuseOp::Write { var: write_mask, value: PlanValue::Const(1) },
+            FuseOp::Write { var: span_mode, value: PlanValue::Const(1) },
+        ],
+    );
+}

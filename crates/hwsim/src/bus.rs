@@ -231,7 +231,16 @@ impl Bus {
 
     /// Block string input (`rep insw`-style): reads `buf.len()` words of
     /// `width` from one port into `buf`. Charged at block rates.
+    ///
+    /// A zero-length transfer is a true no-op: `rep` with `ecx == 0`
+    /// issues no bus cycles, so nothing is charged and no `block_ops`
+    /// entry is recorded. Unclaimed non-empty transfers still count
+    /// their words — the bus cycles happen even if only a floating bus
+    /// answers, matching the single-op accounting above.
     pub fn ins(&mut self, addr: u64, width: Width, buf: &mut [u64]) {
+        if buf.is_empty() {
+            return;
+        }
         self.clock
             .advance(self.costs.io_block_setup_ns + self.costs.io_block_word_ns * buf.len() as f64);
         self.ledger.block_ops += 1;
@@ -239,8 +248,9 @@ impl Bus {
         match self.io_lookup(addr) {
             Some((idx, off)) => {
                 self.tick_device(idx);
+                let dev = &mut self.devices[idx];
                 for slot in buf.iter_mut() {
-                    *slot = width.truncate(self.devices[idx].io_read(off, width));
+                    *slot = width.truncate(dev.io_read(off, width));
                 }
             }
             None => {
@@ -250,8 +260,12 @@ impl Bus {
         }
     }
 
-    /// Block string output (`rep outsw`-style).
+    /// Block string output (`rep outsw`-style). Zero-length transfers
+    /// are no-ops and unclaimed words count, as for [`Bus::ins`].
     pub fn outs(&mut self, addr: u64, width: Width, buf: &[u64]) {
+        if buf.is_empty() {
+            return;
+        }
         self.clock
             .advance(self.costs.io_block_setup_ns + self.costs.io_block_word_ns * buf.len() as f64);
         self.ledger.block_ops += 1;
@@ -259,8 +273,9 @@ impl Bus {
         match self.io_lookup(addr) {
             Some((idx, off)) => {
                 self.tick_device(idx);
+                let dev = &mut self.devices[idx];
                 for &v in buf {
-                    self.devices[idx].io_write(off, width.truncate(v), width);
+                    dev.io_write(off, width.truncate(v), width);
                 }
             }
             None => self.unclaimed(addr, "block port write"),
@@ -473,6 +488,36 @@ mod tests {
         assert_eq!(bus.inb(0), 3);
         assert_eq!(bus.ledger().block_out_words, 3);
         let _ = id;
+    }
+
+    #[test]
+    fn zero_length_block_transfers_are_no_ops() {
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(Scratch::new()), 0x1f0, 8);
+        bus.set_strict(true); // even an unclaimed-address probe must not fire
+        let t0 = bus.now_ns();
+        bus.ins(0x1f0, Width::W16, &mut []);
+        bus.outs(0x1f0, Width::W16, &[]);
+        bus.ins(0x999, Width::W16, &mut []); // unclaimed, zero-length: still nothing
+        bus.outs(0x999, Width::W16, &[]);
+        assert_eq!(bus.now_ns(), t0, "zero-length transfers charge no time");
+        assert_eq!(bus.ledger(), Ledger::new(), "zero-length transfers count nothing");
+    }
+
+    #[test]
+    fn unclaimed_block_transfers_count_their_words() {
+        let mut bus = Bus::default();
+        let mut buf = [0u64; 4];
+        bus.ins(0x999, Width::W16, &mut buf);
+        assert_eq!(buf, [0xffff; 4], "unclaimed block reads float high");
+        bus.outs(0x999, Width::W16, &[1, 2, 3]);
+        let l = bus.ledger();
+        // The bus cycles happen even with no device answering, so the
+        // words count — same as single unclaimed ops count in io_in/out.
+        assert_eq!(l.block_ops, 2);
+        assert_eq!(l.block_in_words, 4);
+        assert_eq!(l.block_out_words, 3);
+        assert_eq!(l.unclaimed, 2);
     }
 
     #[test]

@@ -92,26 +92,29 @@ impl Ledger {
     }
 
     /// Element-wise difference `self - earlier` (counts are monotonic).
+    /// Panics naming the offending field if any count regressed.
     pub fn since(&self, earlier: &Ledger) -> Ledger {
-        let sub = |a: u64, b: u64| a.checked_sub(b).expect("ledger went backwards");
+        let sub = |a: u64, b: u64, field: &str| {
+            a.checked_sub(b).unwrap_or_else(|| panic!("ledger went backwards: {field}"))
+        };
         Ledger {
             io_in: [
-                sub(self.io_in[0], earlier.io_in[0]),
-                sub(self.io_in[1], earlier.io_in[1]),
-                sub(self.io_in[2], earlier.io_in[2]),
+                sub(self.io_in[0], earlier.io_in[0], "io_in[W8]"),
+                sub(self.io_in[1], earlier.io_in[1], "io_in[W16]"),
+                sub(self.io_in[2], earlier.io_in[2], "io_in[W32]"),
             ],
             io_out: [
-                sub(self.io_out[0], earlier.io_out[0]),
-                sub(self.io_out[1], earlier.io_out[1]),
-                sub(self.io_out[2], earlier.io_out[2]),
+                sub(self.io_out[0], earlier.io_out[0], "io_out[W8]"),
+                sub(self.io_out[1], earlier.io_out[1], "io_out[W16]"),
+                sub(self.io_out[2], earlier.io_out[2], "io_out[W32]"),
             ],
-            block_in_words: sub(self.block_in_words, earlier.block_in_words),
-            block_out_words: sub(self.block_out_words, earlier.block_out_words),
-            block_ops: sub(self.block_ops, earlier.block_ops),
-            mem_read: sub(self.mem_read, earlier.mem_read),
-            mem_write: sub(self.mem_write, earlier.mem_write),
-            dma_words: sub(self.dma_words, earlier.dma_words),
-            unclaimed: sub(self.unclaimed, earlier.unclaimed),
+            block_in_words: sub(self.block_in_words, earlier.block_in_words, "block_in_words"),
+            block_out_words: sub(self.block_out_words, earlier.block_out_words, "block_out_words"),
+            block_ops: sub(self.block_ops, earlier.block_ops, "block_ops"),
+            mem_read: sub(self.mem_read, earlier.mem_read, "mem_read"),
+            mem_write: sub(self.mem_write, earlier.mem_write, "mem_write"),
+            dma_words: sub(self.dma_words, earlier.dma_words, "dma_words"),
+            unclaimed: sub(self.unclaimed, earlier.unclaimed, "unclaimed"),
         }
     }
 }
@@ -187,6 +190,14 @@ mod tests {
         let mut l = Ledger::new();
         l.count_in(Width::W8);
         let later = l;
+        Ledger::new().since(&later);
+    }
+
+    #[test]
+    #[should_panic(expected = "ledger went backwards: block_ops")]
+    fn since_panic_names_the_offending_field() {
+        let mut later = Ledger::new();
+        later.block_ops += 1;
         Ledger::new().since(&later);
     }
 
