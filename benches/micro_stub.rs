@@ -357,5 +357,101 @@ fn bench_micro(c: &mut Criterion) {
     criterion::record_value("micro_stub/compile_throughput", corpus.len() as f64 / dt);
 }
 
-criterion_group!(benches, bench_micro);
+/// The MMR-authenticated trace ledger: hot-path append cost, batched
+/// leaf-hash throughput, and root-compare vs line-by-line equivalence
+/// checking at growing replay horizons.
+fn bench_mmr(c: &mut Criterion) {
+    use devil_fuzz::rooted::OpStream;
+    use hwsim::mmr::MmrLog;
+    use hwsim::{Bus, Width};
+
+    let mut g = c.benchmark_group("mmr");
+
+    // Hot-path bus append: one outb through an untraced vs traced bus.
+    // The traced append is a bump-copy into the pending arena; all
+    // hashing defers to watermark folds, so the two must sit within
+    // tens of nanoseconds of each other.
+    g.bench_function("outb_untraced", |b| {
+        let mut bus = Bus::default();
+        b.iter(|| bus.io_write(black_box(0x300), black_box(0x5a), Width::W8))
+    });
+    g.bench_function("outb_traced", |b| {
+        let mut bus = Bus::default();
+        bus.enable_trace(false);
+        b.iter(|| bus.io_write(black_box(0x300), black_box(0x5a), Width::W8))
+    });
+
+    // One deferred append including its amortized share of the
+    // watermark fold, isolated from bus dispatch.
+    g.bench_function("log_append_26b", |b| {
+        let mut log = MmrLog::new(false);
+        let entry = [0xa5u8; 26];
+        b.iter(|| log.push(black_box(&entry)))
+    });
+    g.finish();
+
+    // The two halves of the deferred design, separated: the pure
+    // bump-append (what the traced bus pays synchronously when the
+    // watermark is far away) and the batched fold that turns pending
+    // bytes into leaves (entries/s, what `log_append_26b` amortizes
+    // in).
+    let batch = 262_144usize;
+    let mut log = MmrLog::new(false).with_watermark(usize::MAX, usize::MAX);
+    let entry = [0x3cu8; 26];
+    let t = std::time::Instant::now();
+    for _ in 0..batch {
+        log.push(&entry);
+    }
+    criterion::record_value(
+        "mmr/log_append_deferred_ns",
+        t.elapsed().as_nanos() as f64 / batch as f64,
+    );
+    let t = std::time::Instant::now();
+    log.fold();
+    let dt = t.elapsed().as_secs_f64();
+    criterion::record_value("mmr/leaf_hash_entries_per_s", batch as f64 / dt);
+
+    // Root compare vs line-by-line over the fast-vs-general harness.
+    // Same op streams, two verdict machineries: the rooted one streams
+    // both rigs into O(peaks) memory and compares 32 bytes; the linear
+    // one materializes the op vector and every observation string from
+    // both rigs. 10k/100k always; the 1M tier is the nightly
+    // `diff-longrun` configuration, gated behind MMR_BENCH_FULL=1.
+    let model = devil_sema::check_source(drivers::specs::BUSMOUSE, &[]).unwrap();
+    let ir = devil_ir::lower(&model);
+    let full = std::env::var("MMR_BENCH_FULL").map(|v| v == "1").unwrap_or(false);
+    let tiers: &[(u64, &str)] = if full {
+        &[(10_000, "10k"), (100_000, "100k"), (1_000_000, "1m")]
+    } else {
+        &[(10_000, "10k"), (100_000, "100k")]
+    };
+    for &(n, label) in tiers {
+        let t = std::time::Instant::now();
+        let out = devil_fuzz::rooted::check_equivalence_rooted_stream(&ir, 0xBE, n)
+            .expect("fast and general agree");
+        let rooted_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(out.ops, n);
+        criterion::record_value(&format!("mmr/rooted_compare_ms_{label}"), rooted_ms);
+        criterion::record_value(
+            &format!("mmr/rooted_retained_bytes_{label}"),
+            out.retained_bytes as f64,
+        );
+
+        let t = std::time::Instant::now();
+        let ops: Vec<devil_fuzz::Op> = OpStream::new(&ir, 0xBE, n).collect();
+        devil_fuzz::check_equivalence(&ir, &ops).expect("fast and general agree");
+        let linear_ms = t.elapsed().as_secs_f64() * 1e3;
+        criterion::record_value(&format!("mmr/linear_compare_ms_{label}"), linear_ms);
+        // The linear comparator's working set: both rigs' observation
+        // strings plus the materialized op vector.
+        let mut inst = DeviceInstance::new(ir.clone());
+        let mut dev = FakeAccess::new();
+        let lines = devil_fuzz::run(&mut inst, &mut dev, &ops);
+        let line_bytes: usize = lines.iter().map(|l| l.len() + std::mem::size_of::<String>()).sum();
+        let retained = 2 * line_bytes + ops.len() * std::mem::size_of::<devil_fuzz::Op>();
+        criterion::record_value(&format!("mmr/linear_retained_bytes_{label}"), retained as f64);
+    }
+}
+
+criterion_group!(benches, bench_micro, bench_mmr);
 criterion_main!(benches);

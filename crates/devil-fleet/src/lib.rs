@@ -40,7 +40,7 @@ pub use rng::Rng;
 pub use workload::{FleetInstance, Mix, SharedIrs, WorkloadKind};
 
 use devil_runtime::{DeviceInstance, InstanceSnapshot, PlanStats};
-use hwsim::Ledger;
+use hwsim::{Hash, Ledger, MmrForest};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
@@ -100,6 +100,7 @@ pub struct InstanceFinal {
 /// What one shard worker sends back to the merge step.
 struct ShardResult {
     ledger: Ledger,
+    forest: MmrForest,
     stats: PlanStats,
     latencies_ns: Vec<u64>,
     clock_ns: u64,
@@ -120,6 +121,14 @@ pub struct FleetReport {
     /// Fleet ledger: every shard's checkpoint deltas merged in shard
     /// order.
     pub ledger: Ledger,
+    /// Authenticated trace forest: one MMR per instance, fed from the
+    /// per-instance bus traces at every checkpoint drain. An instance
+    /// lives on exactly one shard, so the fleet merge is a disjoint
+    /// union — commutative and cadence-independent.
+    pub forest: MmrForest,
+    /// The forest root: one 32-byte digest authenticating every bus
+    /// operation of every instance in the fleet.
+    pub trace_root: Hash,
     /// Summed plan-dispatch counters across every interpreter in the
     /// fleet.
     pub stats: PlanStats,
@@ -151,6 +160,24 @@ impl FleetReport {
         assert_eq!(self.instances, other.instances, "instance counts differ");
         assert_eq!(self.units, other.units, "total unit counts differ");
         assert_eq!(self.ledger, other.ledger, "merged fleet ledgers differ");
+        if self.trace_root != other.trace_root {
+            // One 32-byte compare said the fleets diverged somewhere;
+            // the per-instance roots name the culprit.
+            for ((ida, la, ra), (idb, lb, rb)) in self.forest.roots().zip(other.forest.roots()) {
+                assert_eq!(ida, idb, "trace forests cover different instance sets");
+                assert!(
+                    la == lb && ra == rb,
+                    "instance {ida} bus trace diverges between {} and {} shards: \
+                     {la} ops root {ra} vs {lb} ops root {rb}",
+                    self.shards,
+                    other.shards
+                );
+            }
+            panic!(
+                "fleet trace roots differ ({} vs {}) but every per-instance root agrees",
+                self.trace_root, other.trace_root
+            );
+        }
         assert_eq!(self.stats, other.stats, "plan-dispatch counters differ");
         assert_eq!(self.finals.len(), other.finals.len(), "per-instance result counts differ");
         for (a, b) in self.finals.iter().zip(&other.finals) {
@@ -189,6 +216,9 @@ fn run_shard(cfg: &FleetConfig, irs: &SharedIrs, shard: usize) -> ShardResult {
     }
 
     let mut ledger = Ledger::default();
+    // Streaming trees: the gate only needs roots, so a shard holds
+    // O(instances · log ops) hashes no matter how long the run is.
+    let mut forest = MmrForest::new(false);
     let mut latencies_ns = Vec::with_capacity(insts.len() * cfg.units_per_instance as usize);
     let mut clock_ns = 0u64;
     let mut units = 0u64;
@@ -208,6 +238,7 @@ fn run_shard(cfg: &FleetConfig, irs: &SharedIrs, shard: usize) -> ShardResult {
         if cfg.checkpoint_every_units > 0 && units.is_multiple_of(cfg.checkpoint_every_units) {
             for inst in &mut insts {
                 ledger.merge(&inst.drain_checkpoint());
+                forest.append_segment(inst.id() as u64, &inst.drain_trace_segment());
             }
             checkpoints += 1;
         }
@@ -215,6 +246,7 @@ fn run_shard(cfg: &FleetConfig, irs: &SharedIrs, shard: usize) -> ShardResult {
     // Final checkpoint: whatever accumulated since the last merge.
     for inst in &mut insts {
         ledger.merge(&inst.drain_checkpoint());
+        forest.append_segment(inst.id() as u64, &inst.drain_trace_segment());
     }
     checkpoints += 1;
 
@@ -237,7 +269,7 @@ fn run_shard(cfg: &FleetConfig, irs: &SharedIrs, shard: usize) -> ShardResult {
         })
         .collect();
 
-    ShardResult { ledger, stats, latencies_ns, clock_ns, units, checkpoints, finals }
+    ShardResult { ledger, forest, stats, latencies_ns, clock_ns, units, checkpoints, finals }
 }
 
 /// Nearest-rank percentile: the smallest value such that at least
@@ -276,6 +308,7 @@ pub fn run_fleet_with(cfg: &FleetConfig, irs: &SharedIrs) -> FleetReport {
     // Merge in shard order — deterministic, and `Ledger::merge` is
     // commutative besides (the property test in hwsim proves it).
     let mut ledger = Ledger::default();
+    let mut forest = MmrForest::new(false);
     let mut stats = PlanStats::default();
     let mut units = 0u64;
     let mut checkpoints = 0u64;
@@ -284,6 +317,7 @@ pub fn run_fleet_with(cfg: &FleetConfig, irs: &SharedIrs) -> FleetReport {
     let mut finals: Vec<InstanceFinal> = Vec::with_capacity(cfg.instances);
     for r in results {
         ledger.merge(&r.ledger);
+        forest.merge(r.forest);
         stats.straight += r.stats.straight;
         stats.guarded += r.stats.guarded;
         stats.fused += r.stats.fused;
@@ -302,11 +336,14 @@ pub fn run_fleet_with(cfg: &FleetConfig, irs: &SharedIrs) -> FleetReport {
     let wall_s = wall.as_secs_f64();
     let wall_ops_per_s = if wall_s > 0.0 { units as f64 / wall_s } else { 0.0 };
 
+    let trace_root = forest.root();
     FleetReport {
         shards: cfg.shards,
         instances: cfg.instances,
         units,
         ledger,
+        forest,
+        trace_root,
         stats,
         checkpoints,
         sim_makespan_ns,

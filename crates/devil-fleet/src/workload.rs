@@ -254,6 +254,7 @@ fn ide_rig(id: u32, irs: &SharedIrs, mem_bytes: usize) -> (Bus, SharedMem, Devil
         }
     }
     let mut bus = Bus::default();
+    bus.enable_trace(true);
     bus.attach_io(Box::new(ctl), IDE_BASE, 16);
     let drv = DevilIde::with_instances(
         IDE_BASE,
@@ -269,6 +270,10 @@ impl FleetInstance {
     /// from the instance's own stream.
     pub fn spawn(id: u32, kind: WorkloadKind, irs: &SharedIrs, mut rng: Rng) -> Self {
         let mut bus = Bus::default();
+        // Retained mode: drained segments replay into shard forests and
+        // survive forest merges; the drain cadence bounds what is ever
+        // held at once.
+        bus.enable_trace(true);
         let rig = match kind {
             WorkloadKind::Figure3 => {
                 let mut dev = Busmouse::new(IrqLine::new());
@@ -368,6 +373,13 @@ impl FleetInstance {
     /// Drains the ledger delta accumulated since the last checkpoint.
     pub fn drain_checkpoint(&mut self) -> hwsim::Ledger {
         self.cp.drain(&self.bus.ledger())
+    }
+
+    /// Drains the authenticated trace accumulated since the last
+    /// checkpoint as a retained MMR segment, ready for
+    /// [`hwsim::MmrForest::append_segment`].
+    pub fn drain_trace_segment(&mut self) -> hwsim::Mmr {
+        self.bus.drain_trace_segment().expect("fleet buses always trace")
     }
 
     /// Runs one workload unit, drawing its parameters from the

@@ -8,6 +8,8 @@
 //! sharding by design.
 
 use devil_fleet::{run_fleet_with, FleetConfig, Mix, SharedIrs, WorkloadKind};
+use hwsim::mmr::leaf_hash;
+use hwsim::Mmr;
 use std::collections::HashSet;
 
 fn cfg(mix: Mix, shards: usize, instances: usize) -> FleetConfig {
@@ -76,6 +78,45 @@ fn sharding_scales_simulated_throughput() {
         one.sim_ops_per_s
     );
     assert!(four.sim_makespan_ns < one.sim_makespan_ns);
+}
+
+/// The authenticated half of the gate: every instance grows a trace
+/// tree, the forest root is one 32-byte digest over the whole fleet's
+/// bus history, and it is identical for any shard count — the
+/// checkpoint drains that feed it are a pure reorganization too.
+#[test]
+fn trace_forest_covers_every_instance_shard_independently() {
+    let irs = SharedIrs::compile();
+    let single = run_fleet_with(&cfg(Mix::all_specs(), 1, 32), &irs);
+    assert_eq!(single.forest.len(), 32, "one trace tree per instance");
+    for (id, ops, _) in single.forest.roots() {
+        assert!(ops > 0, "instance {id} traced no bus operations");
+    }
+    let sharded = run_fleet_with(&cfg(Mix::all_specs(), 4, 32), &irs);
+    assert_eq!(single.trace_root, sharded.trace_root, "forest roots must be shard-independent");
+}
+
+/// Sensitivity: skew one instance's trace tree and the gate must fail
+/// naming exactly that instance, not just "roots differ".
+#[test]
+fn gate_names_the_instance_whose_trace_diverges() {
+    let irs = SharedIrs::compile();
+    let clean = run_fleet_with(&cfg(Mix::all_specs(), 2, 8), &irs);
+    let mut skewed = clean.clone();
+    let mut extra = Mmr::retained();
+    extra.push_leaf(leaf_hash(b"phantom bus op"));
+    skewed.forest.append_segment(3, &extra);
+    skewed.trace_root = skewed.forest.root();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        clean.assert_replay_equivalent(&skewed);
+    }))
+    .expect_err("skewed trace must fail the gate");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("instance 3 bus trace diverges"), "gate must name instance 3: {msg}");
 }
 
 #[test]

@@ -23,6 +23,7 @@ use crate::Op;
 use devil_codegen::StubApi;
 use devil_ir::{DeviceIr, FuseOp};
 use devil_runtime::{DeviceInstance, FakeAccess};
+use hwsim::mmr::{self, bisect_divergence, Hash, Mmr};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
@@ -644,6 +645,76 @@ fn first_line_diff(want: &[String], got: &[String]) -> String {
         want.iter().skip(got.len().min(want.len())).take(3).collect::<Vec<_>>(),
         got.iter().skip(want.len().min(got.len())).take(3).collect::<Vec<_>>(),
     )
+}
+
+/// Folds observation lines into a retained MMR, one leaf per line, so
+/// two streams compare as 32-byte roots and divergences bisect to a
+/// line index in O(log N) hash compares.
+fn lines_mmr(lines: &[String]) -> Mmr {
+    let mut m = Mmr::retained();
+    m.reserve(lines.len());
+    for l in lines {
+        m.push_leaf(mmr::leaf_hash(l.as_bytes()));
+    }
+    m
+}
+
+/// Root-compare mode of the compiled oracle: both observation streams
+/// condense to one MMR root each. On mismatch, peak bisection names
+/// the first divergent observation line before the linear diff renders
+/// the reporting window.
+pub fn check_compiled_rooted(
+    stub: &CompiledStub,
+    ir: &DeviceIr,
+    api: &StubApi,
+    ops: &[Op],
+) -> Result<Hash, String> {
+    let kept = stub_ops(ir, api, ops);
+    let want_lines = interp_observation(ir, &kept);
+    let got_lines = stub.run(commands(ir, api, &kept))?;
+    rooted_verdict(&stub.name, "stubs", &want_lines, &got_lines)
+}
+
+/// Root-compare mode over superplan call streams: the compiled fused
+/// bodies against the fused interpreter path.
+pub fn check_compiled_super_rooted(
+    stub: &CompiledStub,
+    ir: &DeviceIr,
+    api: &StubApi,
+    seq: &[(Vec<Op>, SuperCall)],
+) -> Result<Hash, String> {
+    let kept = super_stub_seq(ir, api, seq);
+    let want_lines = interp_super_observation(ir, &kept);
+    let got_lines = stub.run(super_commands(ir, api, &kept))?;
+    rooted_verdict(&stub.name, "superplans", &want_lines, &got_lines)
+}
+
+/// The root-compare core: hashes both observation streams into MMRs,
+/// returns the agreed root or an error naming the bisected first
+/// divergent line. Public so sensitivity tests can inject skewed
+/// streams directly.
+pub fn rooted_verdict(
+    name: &str,
+    surface: &str,
+    want_lines: &[String],
+    got_lines: &[String],
+) -> Result<Hash, String> {
+    let want = lines_mmr(want_lines);
+    let got = lines_mmr(got_lines);
+    let root = want.root();
+    if root == got.root() {
+        return Ok(root);
+    }
+    let d = bisect_divergence(&want, &got).expect("roots differ, so the forests must");
+    let i = d.leaf as usize;
+    Err(format!(
+        "{name}: compiled {surface} diverge from the interpreter; bisection names \
+         observation line {i} in {} hash compares\n  interpreter: {}\n  compiled:    {}\n  {}",
+        d.compares,
+        want_lines.get(i).map(String::as_str).unwrap_or("<stream ended>"),
+        got_lines.get(i).map(String::as_str).unwrap_or("<stream ended>"),
+        first_line_diff(want_lines, got_lines),
+    ))
 }
 
 /// Replays `ops` (pre-filtering them to the stub surface) through the

@@ -18,6 +18,7 @@ use devil_sema::model::{Offset, StructId, VarId};
 
 pub mod compiled;
 pub mod corpus;
+pub mod rooted;
 pub mod superfuzz;
 pub mod synthetic;
 
@@ -318,52 +319,75 @@ pub fn init_sweep_ops(ir: &DeviceIr) -> Vec<Op> {
 pub fn run(inst: &mut DeviceInstance, dev: &mut FakeAccess, ops: &[Op]) -> Vec<String> {
     let mut obs = Vec::with_capacity(ops.len());
     for op in ops {
-        match op {
-            Op::ReadVar { vid, args } => {
-                obs.push(format!("read {vid:?} {args:?} -> {:?}", inst.read_id(dev, *vid, args)));
-            }
-            Op::WriteVar { vid, args, value } => {
-                obs.push(format!(
-                    "write {vid:?} {args:?} {value:#x} -> {:?}",
-                    inst.write_id(dev, *vid, args, *value)
-                ));
-            }
-            Op::ReadStruct { sid } => {
-                let r = inst.read_struct_id(dev, *sid);
-                obs.push(format!("read_struct {sid:?} -> {r:?}"));
-                if r.is_ok() {
-                    for &fid in inst.ir().strct(*sid).fields.clone().iter() {
-                        obs.push(format!("  field {fid:?} -> {:?}", inst.get_field_id(fid)));
-                    }
-                }
-            }
-            Op::WriteStruct { sid, values } => {
-                for (fid, v) in values {
-                    obs.push(format!(
-                        "  set_field {fid:?} {v:#x} -> {:?}",
-                        inst.set_field_id(*fid, *v)
-                    ));
-                }
-                obs.push(format!("write_struct {sid:?} -> {:?}", inst.write_struct_id(dev, *sid)));
-            }
-            Op::ReadBlock { vid, len } => {
-                let name = inst.ir().var(*vid).name.clone();
-                let mut buf = vec![0u64; *len];
-                let r = inst.read_block(dev, &name, &mut buf);
-                obs.push(format!("read_block {vid:?} -> {r:?} {buf:x?}"));
-            }
-            Op::WriteBlock { vid, values } => {
-                let name = inst.ir().var(*vid).name.clone();
-                let r = inst.write_block(dev, &name, values);
-                obs.push(format!("write_block {vid:?} {values:x?} -> {r:?}"));
-            }
-            Op::Preset { port, offset, value } => {
-                dev.preset(*port, *offset, *value);
-                obs.push(format!("preset {port} {offset:#x} {value:#x}"));
-            }
-        }
+        run_op(inst, dev, op, &mut obs);
     }
     obs
+}
+
+/// Replays one op, appending its caller observations to `out`. The
+/// streaming rooted harness reuses one buffer across millions of ops;
+/// [`run`] is the collect-everything wrapper the linear comparators
+/// keep using.
+pub fn run_op(inst: &mut DeviceInstance, dev: &mut FakeAccess, op: &Op, out: &mut Vec<String>) {
+    match op {
+        Op::ReadVar { vid, args } => {
+            out.push(format!("read {vid:?} {args:?} -> {:?}", inst.read_id(dev, *vid, args)));
+        }
+        Op::WriteVar { vid, args, value } => {
+            out.push(format!(
+                "write {vid:?} {args:?} {value:#x} -> {:?}",
+                inst.write_id(dev, *vid, args, *value)
+            ));
+        }
+        Op::ReadStruct { sid } => {
+            let r = inst.read_struct_id(dev, *sid);
+            out.push(format!("read_struct {sid:?} -> {r:?}"));
+            if r.is_ok() {
+                for &fid in inst.ir().strct(*sid).fields.clone().iter() {
+                    out.push(format!("  field {fid:?} -> {:?}", inst.get_field_id(fid)));
+                }
+            }
+        }
+        Op::WriteStruct { sid, values } => {
+            for (fid, v) in values {
+                out.push(format!(
+                    "  set_field {fid:?} {v:#x} -> {:?}",
+                    inst.set_field_id(*fid, *v)
+                ));
+            }
+            out.push(format!("write_struct {sid:?} -> {:?}", inst.write_struct_id(dev, *sid)));
+        }
+        Op::ReadBlock { vid, len } => {
+            let name = inst.ir().var(*vid).name.clone();
+            let mut buf = vec![0u64; *len];
+            let r = inst.read_block(dev, &name, &mut buf);
+            out.push(format!("read_block {vid:?} -> {r:?} {buf:x?}"));
+        }
+        Op::WriteBlock { vid, values } => {
+            let name = inst.ir().var(*vid).name.clone();
+            let r = inst.write_block(dev, &name, values);
+            out.push(format!("write_block {vid:?} {values:x?} -> {r:?}"));
+        }
+        Op::Preset { port, offset, value } => {
+            dev.preset(*port, *offset, *value);
+            out.push(format!("preset {port} {offset:#x} {value:#x}"));
+        }
+    }
+}
+
+/// The cache-coherence probe: one read of every readable variable at
+/// its first in-domain argument tuple. Both the linear and the rooted
+/// comparators end with it, so silent cache divergence the op sequence
+/// itself never observed still surfaces.
+pub fn probe_ops(ir: &DeviceIr) -> Vec<Op> {
+    (0..ir.vars.len() as u32)
+        .map(VarId)
+        .filter(|&v| ir.var(v).readable)
+        .map(|vid| Op::ReadVar {
+            vid,
+            args: ir.var(vid).params.iter().map(|p| p.values[0].0).collect(),
+        })
+        .collect()
 }
 
 /// The first differing line between two observation logs, for compact
@@ -408,14 +432,7 @@ pub fn check_equivalence(ir: &DeviceIr, ops: &[Op]) -> Result<(), String> {
     // Cache-coherence probe: after the sequence, reading every readable
     // variable once more must agree (catches silent cache divergence
     // that the op sequence itself did not observe).
-    let probe: Vec<Op> = (0..ir.vars.len() as u32)
-        .map(VarId)
-        .filter(|&v| ir.var(v).readable)
-        .map(|vid| Op::ReadVar {
-            vid,
-            args: ir.var(vid).params.iter().map(|p| p.values[0].0).collect(),
-        })
-        .collect();
+    let probe = probe_ops(ir);
     let probe_fast = run(&mut fast, &mut fast_dev, &probe);
     let probe_slow = run(&mut slow, &mut slow_dev, &probe);
     if probe_fast != probe_slow {

@@ -8,10 +8,10 @@
 //! cache-coherence read probe, exactly like the fast/general
 //! differential in the crate root.
 
-use crate::{run, Op};
+use crate::{run, run_op, Op};
 use devil_ir::{DeviceIr, FuseOp, PlanValue};
 use devil_runtime::{DeviceInstance, FakeAccess};
-use devil_sema::model::VarId;
+use hwsim::mmr::{bisect_divergence, Hash, MmrLog};
 
 /// Installs synthetic superplans over the formerly-fallback shapes in
 /// [`crate::synthetic`], so the fused differential covers input-dim
@@ -155,6 +155,35 @@ pub fn decode_super(ir: &DeviceIr, words: &[u64]) -> Vec<(Vec<Op>, SuperCall)> {
     seq
 }
 
+/// One superplan invocation (fused or unfused), appending the caller
+/// observation line to `obs`.
+fn run_call(
+    inst: &mut DeviceInstance,
+    dev: &mut FakeAccess,
+    call: &SuperCall,
+    fused: bool,
+    obs: &mut Vec<String>,
+) {
+    let mut block_in = vec![0u64; call.block_in_len];
+    let mut outs = vec![0u64; inst.ir().superplans()[call.sid].outputs];
+    let r = if fused {
+        inst.run_superplan(dev, call.sid, &call.args, &call.block_out, &mut block_in, &mut outs)
+    } else {
+        inst.run_superplan_unfused(
+            dev,
+            call.sid,
+            &call.args,
+            &call.block_out,
+            &mut block_in,
+            &mut outs,
+        )
+    };
+    obs.push(format!(
+        "super {} {:x?} -> {r:?} outs {outs:x?} in {block_in:x?}",
+        call.sid, call.args
+    ));
+}
+
 fn run_seq(
     inst: &mut DeviceInstance,
     dev: &mut FakeAccess,
@@ -164,24 +193,7 @@ fn run_seq(
     let mut obs = Vec::new();
     for (pre, call) in seq {
         obs.extend(run(inst, dev, pre));
-        let mut block_in = vec![0u64; call.block_in_len];
-        let mut outs = vec![0u64; inst.ir().superplans()[call.sid].outputs];
-        let r = if fused {
-            inst.run_superplan(dev, call.sid, &call.args, &call.block_out, &mut block_in, &mut outs)
-        } else {
-            inst.run_superplan_unfused(
-                dev,
-                call.sid,
-                &call.args,
-                &call.block_out,
-                &mut block_in,
-                &mut outs,
-            )
-        };
-        obs.push(format!(
-            "super {} {:x?} -> {r:?} outs {outs:x?} in {block_in:x?}",
-            call.sid, call.args
-        ));
+        run_call(inst, dev, call, fused, &mut obs);
     }
     obs
 }
@@ -229,14 +241,7 @@ pub fn check_superplan_equivalence(
     }
 
     // Cache-coherence probe, as in the fast/general differential.
-    let probe: Vec<Op> = (0..ir.vars.len() as u32)
-        .map(VarId)
-        .filter(|&v| ir.var(v).readable)
-        .map(|vid| Op::ReadVar {
-            vid,
-            args: ir.var(vid).params.iter().map(|p| p.values[0].0).collect(),
-        })
-        .collect();
+    let probe = crate::probe_ops(ir);
     let probe_f = run(&mut fused, &mut fused_dev, &probe);
     let probe_u = run(&mut unfused, &mut unfused_dev, &probe);
     if probe_f != probe_u {
@@ -249,4 +254,80 @@ pub fn check_superplan_equivalence(
         return Err("probe device op logs diverge".into());
     }
     Ok(())
+}
+
+/// Replays the sequence through one mode, folding each call — its
+/// state-perturbing prelude, its observation line and its device-op
+/// log delta — into one MMR leaf, so the leaf index *is* the call
+/// index. Retained mode: superplan sequences are modest and retention
+/// lets a mismatch bisect without a re-replay.
+fn run_seq_rooted(ir: &DeviceIr, seq: &[(Vec<Op>, SuperCall)], fused: bool) -> MmrLog {
+    let mut inst = DeviceInstance::new(ir.clone());
+    let mut dev = FakeAccess::new();
+    let mut log = MmrLog::new(true);
+    log.reserve(seq.len().min(1024), 128);
+    let mut obs: Vec<String> = Vec::new();
+    let mut scratch: Vec<u8> = Vec::new();
+    for (pre, call) in seq {
+        obs.clear();
+        for op in pre {
+            run_op(&mut inst, &mut dev, op, &mut obs);
+        }
+        run_call(&mut inst, &mut dev, call, fused, &mut obs);
+        crate::rooted::encode_leaf(&mut scratch, &obs, &dev.log);
+        dev.log.clear();
+        log.push(&scratch);
+    }
+    for op in crate::probe_ops(ir) {
+        obs.clear();
+        run_op(&mut inst, &mut dev, &op, &mut obs);
+        crate::rooted::encode_leaf(&mut scratch, &obs, &dev.log);
+        dev.log.clear();
+        log.push(&scratch);
+    }
+    crate::rooted::encode_final_state(&mut scratch, &dev);
+    log.push(&scratch);
+    log
+}
+
+/// A successful fused-vs-unfused root compare.
+#[derive(Clone, Copy, Debug)]
+pub struct SuperRooted {
+    /// The agreed root.
+    pub root: Hash,
+    /// Superplan calls replayed.
+    pub calls: u64,
+    /// Total leaves (calls + probe reads + final state).
+    pub leaves: u64,
+}
+
+/// [`check_superplan_equivalence`], root-compared: fused and unfused
+/// replays reduce to one 32-byte compare; on mismatch, bisection names
+/// the first divergent call in O(log N) hash compares and the linear
+/// comparator is re-run only for the human-readable report.
+pub fn check_superplan_equivalence_rooted(
+    ir: &DeviceIr,
+    seq: &[(Vec<Op>, SuperCall)],
+) -> Result<SuperRooted, String> {
+    let mut fused = run_seq_rooted(ir, seq, true);
+    let mut unfused = run_seq_rooted(ir, seq, false);
+    let (rf, ru) = (fused.root(), unfused.root());
+    if rf == ru {
+        return Ok(SuperRooted { root: rf, calls: seq.len() as u64, leaves: fused.len() });
+    }
+    let d = bisect_divergence(fused.mmr(), unfused.mmr())
+        .expect("roots differ but bisection found nothing");
+    let what = if d.leaf < seq.len() as u64 {
+        format!("call {}", d.leaf)
+    } else {
+        "the cache-coherence probe / final device state".to_string()
+    };
+    let detail = check_superplan_equivalence(ir, seq)
+        .err()
+        .unwrap_or_else(|| "linear comparator found no line-level diff".to_string());
+    Err(format!(
+        "superplan trace roots diverge ({rf:?} vs {ru:?}): bisection names {what} in {} \
+         hash compares; {detail}",
+        d.compares
+    ))
 }

@@ -11,7 +11,8 @@
 
 use devil_codegen::StubApi;
 use devil_fuzz::compiled::{
-    cc_available, check_compiled, check_compiled_super, commands, interp_observation, stub_ops,
+    cc_available, check_compiled, check_compiled_rooted, check_compiled_super,
+    check_compiled_super_rooted, commands, interp_observation, rooted_verdict, stub_ops,
     CompiledStub,
 };
 use devil_fuzz::superfuzz::{decode_super, install_synthetic, super_sweep};
@@ -331,6 +332,52 @@ fn oracle_detects_injected_divergence() {
         kept.iter().filter(|o| !matches!(o, Op::Preset { .. })).cloned().collect();
     let got = rig.stub.run(commands(&rig.ir, &rig.api, &skewed)).expect("harness runs");
     assert_ne!(want, got, "oracle must notice the diverging device state");
+}
+
+/// Root-compare mode of the oracle agrees with the linear comparator
+/// on both sweep surfaces: every spec's stub sweep and every fused
+/// superplan sweep condense to one matching 32-byte root per side.
+#[test]
+fn rooted_oracle_matches_on_sweeps() {
+    if skip_without_cc() {
+        return;
+    }
+    for rig in rigs() {
+        check_compiled_rooted(&rig.stub, &rig.ir, &rig.api, &sweep_ops(&rig.ir))
+            .unwrap_or_else(|e| panic!("{}: {e}", rig.name));
+        if !rig.api.superplans.is_empty() {
+            let seq = super_sweep(&rig.ir);
+            check_compiled_super_rooted(&rig.stub, &rig.ir, &rig.api, &seq)
+                .unwrap_or_else(|e| panic!("{}: {e}", rig.name));
+        }
+    }
+}
+
+/// Sensitivity of root-compare mode: skew the compiled side's stream
+/// (drop the device presets) and the rooted verdict must fail, with
+/// bisection naming exactly the line a linear scan names first.
+#[test]
+fn rooted_oracle_bisects_injected_divergence() {
+    if skip_without_cc() {
+        return;
+    }
+    let rig = rigs().iter().find(|r| r.name == "busmouse").unwrap();
+    let kept = stub_ops(&rig.ir, &rig.api, &sweep_ops(&rig.ir));
+    let want = interp_observation(&rig.ir, &kept);
+    let skewed: Vec<Op> =
+        kept.iter().filter(|o| !matches!(o, Op::Preset { .. })).cloned().collect();
+    let got = rig.stub.run(commands(&rig.ir, &rig.api, &skewed)).expect("harness runs");
+    let linear_first = want
+        .iter()
+        .zip(got.iter())
+        .position(|(w, g)| w != g)
+        .unwrap_or_else(|| want.len().min(got.len()));
+    let err = rooted_verdict("busmouse", "stubs", &want, &got)
+        .expect_err("skewed stream must fail root compare");
+    assert!(
+        err.contains(&format!("observation line {linear_first} ")),
+        "bisection must name line {linear_first}: {err}"
+    );
 }
 
 proptest! {

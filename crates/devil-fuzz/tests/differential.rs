@@ -10,9 +10,13 @@
 //! `PROPTEST_SEED` that replays it exactly; CI's scheduled job raises
 //! the case count via `PROPTEST_CASES`.
 
+use devil_fuzz::rooted::{
+    check_equivalence_rooted, check_equivalence_rooted_stream, diff_ops, replay_mmr,
+};
 use devil_fuzz::{check_equivalence, decode, init_sweep_ops, sweep_ops, Op};
 use devil_ir::DeviceIr;
 use devil_runtime::{DeviceInstance, FakeAccess};
+use hwsim::mmr::{bisect_divergence, linear_divergence};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -183,6 +187,40 @@ fn formerly_fallback_specs_dispatch_on_plans() {
     }
 }
 
+/// The rooted comparator agrees with the linear one on the coverage
+/// sweep of every device — and both replays of the same ops produce
+/// the same 32-byte root, whether fed a slice or a generated stream.
+#[test]
+fn rooted_sweep_agrees_on_all_devices() {
+    for (name, ir) in irs() {
+        let ops = sweep_ops(ir);
+        let out = check_equivalence_rooted(ir, &ops)
+            .unwrap_or_else(|e| panic!("{name}: rooted sweep diverges\n{e}"));
+        assert_eq!(out.ops, ops.len() as u64, "{name}");
+    }
+}
+
+/// The long-replay gate, previously impossible: the linear comparator
+/// retained every observation string from both rigs, capping replay
+/// length; the rooted comparator streams in O(peaks) memory, so the
+/// horizon is a knob. Default 20k ops per spec on PR runs; the nightly
+/// `diff-longrun` job sets `DIFF_OPS=1000000` (mirroring
+/// `PROPTEST_CASES`) to push a million ops per spec.
+#[test]
+fn diff_longrun_root_compare() {
+    let n = diff_ops(20_000);
+    for (name, ir) in irs() {
+        let out = check_equivalence_rooted_stream(ir, 0xD1FF, n)
+            .unwrap_or_else(|e| panic!("{name}: {n}-op rooted replay diverges\n{e}"));
+        assert_eq!(out.ops, n, "{name}");
+        assert!(
+            out.retained_bytes < 512 * 1024,
+            "{name}: streaming replay must stay in O(peaks) memory, retained {}",
+            out.retained_bytes
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -195,5 +233,35 @@ proptest! {
             let r = check_equivalence(ir, &ops);
             prop_assert!(r.is_ok(), "{}: {}", name, r.err().unwrap_or_default());
         }
+    }
+
+    /// Rooted and linear comparators agree on random streams, and the
+    /// roots of the two interpreter modes match each other.
+    #[test]
+    fn rooted_comparator_agrees_on_random_streams(words in collection::vec(any::<u64>(), 1..48)) {
+        for (name, ir) in irs() {
+            let ops = decode(ir, &words);
+            let r = check_equivalence_rooted(ir, &ops);
+            prop_assert!(r.is_ok(), "{}: {}", name, r.err().unwrap_or_default());
+        }
+    }
+
+    /// Sensitivity at the harness level: corrupt exactly one op's leaf
+    /// in a replay and bisection must name that op — the same index a
+    /// linear leaf scan finds — within the O(log N) compare budget.
+    #[test]
+    fn bisection_names_injected_divergences(seed in any::<u64>(), n in 16u64..600, pick in any::<u64>()) {
+        let (name, ir) = &irs()[(seed % irs().len() as u64) as usize];
+        let k = pick % n;
+        let mut clean = replay_mmr(ir, true, seed, n, true, None);
+        let mut mutated = replay_mmr(ir, true, seed, n, true, Some(k));
+        let d = bisect_divergence(clean.mmr(), mutated.mmr());
+        prop_assert!(d.is_some(), "{}: corrupted replay must diverge", name);
+        let d = d.unwrap();
+        prop_assert_eq!(d.leaf, k, "{}: bisection names the corrupted op", name);
+        prop_assert_eq!(linear_divergence(clean.mmr(), mutated.mmr()), Some(k));
+        let leaves = clean.len().max(mutated.len());
+        let bound = 2 * (64 - leaves.leading_zeros() as u64) + 2;
+        prop_assert!(d.compares <= bound, "{}: {} compares > {}", name, d.compares, bound);
     }
 }

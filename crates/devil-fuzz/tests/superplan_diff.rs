@@ -12,7 +12,8 @@
 //! under the bus cost model.
 
 use devil_fuzz::superfuzz::{
-    check_superplan_equivalence, decode_super, install_synthetic, super_sweep,
+    check_superplan_equivalence, check_superplan_equivalence_rooted, decode_super,
+    install_synthetic, super_sweep,
 };
 use devil_fuzz::{run, sweep_ops, Op};
 use devil_ir::{DeviceIr, ShapeOp};
@@ -239,6 +240,20 @@ fn fused_ledger_delta_matches_declared_shape() {
     }
 }
 
+/// The rooted fused-vs-unfused comparator condenses the sweep to one
+/// 32-byte root per rig and agrees with the linear comparator's
+/// verdict on every superplan-bearing spec.
+#[test]
+fn rooted_fused_sweep_agrees_on_all_devices() {
+    for (name, ir) in irs() {
+        let seq = super_sweep(ir);
+        let out = check_superplan_equivalence_rooted(ir, &seq)
+            .unwrap_or_else(|e| panic!("{name}: rooted fused sweep diverges\n{e}"));
+        assert_eq!(out.calls, seq.len() as u64, "{name}");
+        assert!(out.leaves > out.calls, "{name}: probe and final-state leaves missing");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(1024))]
 
@@ -254,6 +269,18 @@ proptest! {
         let seq = decode_super(ir, &words[1..]);
         if let Err(e) = check_superplan_equivalence(ir, &seq) {
             panic!("{name}: fused and unfused superplan paths diverge\n{e}");
+        }
+    }
+
+    /// The rooted comparator reaches the same verdict on random
+    /// superplan streams.
+    #[test]
+    fn rooted_random_superplan_streams_agree(words in collection::vec(any::<u64>(), 2..24)) {
+        let specs = irs();
+        let (name, ir) = &specs[(words[0] % specs.len() as u64) as usize];
+        let seq = decode_super(ir, &words[1..]);
+        if let Err(e) = check_superplan_equivalence_rooted(ir, &seq) {
+            panic!("{name}: rooted fused/unfused comparison diverges\n{e}");
         }
     }
 }

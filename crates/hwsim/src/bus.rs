@@ -9,6 +9,7 @@
 use crate::clock::{CostModel, SimClock};
 use crate::device::Device;
 use crate::ledger::Ledger;
+use crate::mmr::{self, Hash, Mmr, MmrLog};
 use crate::width::Width;
 
 /// An address-range claim registered by a device.
@@ -36,7 +37,27 @@ pub struct Bus {
     /// Panic on accesses to unclaimed addresses instead of returning
     /// floating-bus values. Useful in tests.
     strict: bool,
+    /// Authenticated trace: one [`MmrLog`] entry per bus transaction
+    /// when enabled. `None` (the default) keeps the hot path at a
+    /// single branch per op.
+    trace: Option<Box<MmrLog>>,
 }
+
+/// Trace entry kinds; an unclaimed access sets [`TRACE_UNCLAIMED`] on
+/// its kind rather than appending a second entry, so a traced bus
+/// appends exactly [`Ledger::len`] entries.
+const TRACE_IO_READ: u8 = 0;
+const TRACE_IO_WRITE: u8 = 1;
+const TRACE_BLOCK_IN: u8 = 2;
+const TRACE_BLOCK_OUT: u8 = 3;
+const TRACE_MEM_READ: u8 = 4;
+const TRACE_MEM_WRITE: u8 = 5;
+const TRACE_DMA: u8 = 6;
+/// Flag bit marking an access to an unclaimed address.
+pub const TRACE_UNCLAIMED: u8 = 0x80;
+/// Fixed raw size of one trace entry: kind, width, address, and two
+/// payload words (value, or block length + payload checksum).
+const TRACE_ENTRY_BYTES: usize = 26;
 
 /// Handle to a device attached to a [`Bus`], for typed re-borrowing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +80,7 @@ impl Bus {
             clock: SimClock::new(),
             costs,
             strict: false,
+            trace: None,
         }
     }
 
@@ -145,6 +167,57 @@ impl Bus {
         }
     }
 
+    // ---- authenticated trace ----
+
+    /// Turns on the authenticated trace: from now on every bus
+    /// transaction bump-appends one fixed-size entry into an
+    /// [`MmrLog`]; hashing is deferred to fold points (watermark,
+    /// [`Bus::trace_root`], [`Bus::drain_trace_segment`]), never
+    /// per-op. `retain` keeps leaf/node hashes for bisection and
+    /// segment replay; `false` streams in O(peaks) memory.
+    pub fn enable_trace(&mut self, retain: bool) {
+        let mut log = MmrLog::new(retain);
+        // One entry is 26 bytes; size the arena for a full batch.
+        log.reserve(1024, TRACE_ENTRY_BYTES);
+        self.trace = Some(Box::new(log));
+    }
+
+    /// Stops tracing and drops the log.
+    pub fn disable_trace(&mut self) {
+        self.trace = None;
+    }
+
+    /// The trace log, if tracing is enabled.
+    pub fn trace(&self) -> Option<&MmrLog> {
+        self.trace.as_deref()
+    }
+
+    /// Folds pending entries and returns the trace root.
+    pub fn trace_root(&mut self) -> Option<Hash> {
+        self.trace.as_deref_mut().map(MmrLog::root)
+    }
+
+    /// Folds and takes the accumulated trace segment, leaving the
+    /// trace empty — the checkpoint-drain hook: a fleet shard appends
+    /// drained segments into its per-instance forest, keeping retained
+    /// memory bounded by the drain cadence.
+    pub fn drain_trace_segment(&mut self) -> Option<Mmr> {
+        self.trace.as_deref_mut().map(MmrLog::take_segment)
+    }
+
+    #[inline]
+    fn trace_op(&mut self, kind: u8, width: Width, addr: u64, a: u64, b: u64) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            let mut e = [0u8; TRACE_ENTRY_BYTES];
+            e[0] = kind;
+            e[1] = width.bytes() as u8;
+            e[2..10].copy_from_slice(&addr.to_le_bytes());
+            e[10..18].copy_from_slice(&a.to_le_bytes());
+            e[18..26].copy_from_slice(&b.to_le_bytes());
+            t.push(&e);
+        }
+    }
+
     /// The bus cost model.
     pub fn costs(&self) -> CostModel {
         self.costs
@@ -174,29 +247,36 @@ impl Bus {
     pub fn io_read(&mut self, addr: u64, width: Width) -> u64 {
         self.clock.advance(self.costs.io_single_ns);
         self.ledger.count_in(width);
-        match self.io_lookup(addr) {
+        let (value, kind) = match self.io_lookup(addr) {
             Some((idx, off)) => {
                 self.tick_device(idx);
-                width.truncate(self.devices[idx].io_read(off, width))
+                (width.truncate(self.devices[idx].io_read(off, width)), TRACE_IO_READ)
             }
             None => {
                 self.unclaimed(addr, "port read");
-                width.ones()
+                (width.ones(), TRACE_IO_READ | TRACE_UNCLAIMED)
             }
-        }
+        };
+        self.trace_op(kind, width, addr, value, 0);
+        value
     }
 
     /// Generic port write.
     pub fn io_write(&mut self, addr: u64, value: u64, width: Width) {
         self.clock.advance(self.costs.io_single_ns);
         self.ledger.count_out(width);
-        match self.io_lookup(addr) {
+        let kind = match self.io_lookup(addr) {
             Some((idx, off)) => {
                 self.tick_device(idx);
                 self.devices[idx].io_write(off, width.truncate(value), width);
+                TRACE_IO_WRITE
             }
-            None => self.unclaimed(addr, "port write"),
-        }
+            None => {
+                self.unclaimed(addr, "port write");
+                TRACE_IO_WRITE | TRACE_UNCLAIMED
+            }
+        };
+        self.trace_op(kind, width, addr, width.truncate(value), 0);
     }
 
     /// 8-bit port read (`inb`).
@@ -245,18 +325,27 @@ impl Bus {
             .advance(self.costs.io_block_setup_ns + self.costs.io_block_word_ns * buf.len() as f64);
         self.ledger.block_ops += 1;
         self.ledger.block_in_words += buf.len() as u64;
-        match self.io_lookup(addr) {
+        let kind = match self.io_lookup(addr) {
             Some((idx, off)) => {
                 self.tick_device(idx);
                 let dev = &mut self.devices[idx];
                 for slot in buf.iter_mut() {
                     *slot = width.truncate(dev.io_read(off, width));
                 }
+                TRACE_BLOCK_IN
             }
             None => {
                 self.unclaimed(addr, "block port read");
                 buf.fill(width.ones());
+                TRACE_BLOCK_IN | TRACE_UNCLAIMED
             }
+        };
+        if self.trace.is_some() {
+            // One entry per block instruction, like the ledger: the
+            // payload is covered by length + checksum, computed only
+            // when tracing is on.
+            let ck = mmr::fnv1a_words(buf);
+            self.trace_op(kind, width, addr, buf.len() as u64, ck);
         }
     }
 
@@ -270,15 +359,23 @@ impl Bus {
             .advance(self.costs.io_block_setup_ns + self.costs.io_block_word_ns * buf.len() as f64);
         self.ledger.block_ops += 1;
         self.ledger.block_out_words += buf.len() as u64;
-        match self.io_lookup(addr) {
+        let kind = match self.io_lookup(addr) {
             Some((idx, off)) => {
                 self.tick_device(idx);
                 let dev = &mut self.devices[idx];
                 for &v in buf {
                     dev.io_write(off, width.truncate(v), width);
                 }
+                TRACE_BLOCK_OUT
             }
-            None => self.unclaimed(addr, "block port write"),
+            None => {
+                self.unclaimed(addr, "block port write");
+                TRACE_BLOCK_OUT | TRACE_UNCLAIMED
+            }
+        };
+        if self.trace.is_some() {
+            let ck = mmr::fnv1a_words(buf);
+            self.trace_op(kind, width, addr, buf.len() as u64, ck);
         }
     }
 
@@ -288,29 +385,36 @@ impl Bus {
     pub fn mem_read(&mut self, addr: u64, width: Width) -> u64 {
         self.clock.advance(self.costs.mem_read_ns);
         self.ledger.mem_read += 1;
-        match self.mem_lookup(addr) {
+        let (value, kind) = match self.mem_lookup(addr) {
             Some((idx, off)) => {
                 self.tick_device(idx);
-                width.truncate(self.devices[idx].mem_read(off, width))
+                (width.truncate(self.devices[idx].mem_read(off, width)), TRACE_MEM_READ)
             }
             None => {
                 self.unclaimed(addr, "memory read");
-                width.ones()
+                (width.ones(), TRACE_MEM_READ | TRACE_UNCLAIMED)
             }
-        }
+        };
+        self.trace_op(kind, width, addr, value, 0);
+        value
     }
 
     /// Memory-mapped write (posted).
     pub fn mem_write(&mut self, addr: u64, value: u64, width: Width) {
         self.clock.advance(self.costs.mem_write_ns);
         self.ledger.mem_write += 1;
-        match self.mem_lookup(addr) {
+        let kind = match self.mem_lookup(addr) {
             Some((idx, off)) => {
                 self.tick_device(idx);
                 self.devices[idx].mem_write(off, width.truncate(value), width);
+                TRACE_MEM_WRITE
             }
-            None => self.unclaimed(addr, "memory write"),
-        }
+            None => {
+                self.unclaimed(addr, "memory write");
+                TRACE_MEM_WRITE | TRACE_UNCLAIMED
+            }
+        };
+        self.trace_op(kind, width, addr, width.truncate(value), 0);
     }
 
     /// Charges a device-driven DMA transfer of `words` words to the
@@ -318,7 +422,9 @@ impl Bus {
     /// bus; the CPU is not involved.
     pub fn charge_dma(&mut self, words: u64) {
         self.ledger.dma_words += words;
+        self.ledger.dma_ops += 1;
         self.clock.advance(self.costs.dma_word_ns * words as f64);
+        self.trace_op(TRACE_DMA, Width::W8, 0, words, 0);
     }
 
     fn unclaimed(&mut self, addr: u64, what: &str) {
@@ -537,6 +643,92 @@ mod tests {
         let t0 = bus.now_ns();
         bus.charge_dma(512);
         assert_eq!(bus.ledger().dma_words, 512);
+        assert_eq!(bus.ledger().dma_ops, 1);
         assert!(bus.now_ns() > t0);
+    }
+
+    /// Drives one representative of every transaction kind.
+    fn exercise(bus: &mut Bus) {
+        bus.outb(0x300, 0xab);
+        bus.inw(0x302);
+        bus.outs(0x300, Width::W8, &[1, 2, 3]);
+        let mut buf = [0u64; 4];
+        bus.ins(0x300, Width::W8, &mut buf);
+        bus.inb(0x999); // unclaimed
+        bus.charge_dma(16);
+    }
+
+    #[test]
+    fn trace_counts_one_entry_per_ledger_transaction() {
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(Scratch::new()), 0x300, 8);
+        bus.outb(0x300, 1); // pre-trace traffic is not recorded
+        bus.enable_trace(false);
+        let before = bus.ledger();
+        exercise(&mut bus);
+        let delta = bus.ledger().since(&before);
+        assert_eq!(bus.trace().unwrap().len(), delta.len());
+        assert_eq!(delta.len(), 6, "2 singles + 2 blocks + 1 unclaimed + 1 dma");
+    }
+
+    #[test]
+    fn trace_roots_replay_deterministically() {
+        let run = |retain: bool| {
+            let mut bus = Bus::default();
+            bus.attach_io(Box::new(Scratch::new()), 0x300, 8);
+            bus.enable_trace(retain);
+            exercise(&mut bus);
+            bus.trace_root().unwrap()
+        };
+        assert_eq!(run(false), run(false));
+        assert_eq!(run(false), run(true), "streaming and retained agree");
+
+        // A diverging value shows up in the root.
+        let mut bus = Bus::default();
+        bus.attach_io(Box::new(Scratch::new()), 0x300, 8);
+        bus.enable_trace(false);
+        bus.outb(0x300, 0xac);
+        let mut other = Bus::default();
+        other.attach_io(Box::new(Scratch::new()), 0x300, 8);
+        other.enable_trace(false);
+        other.outb(0x300, 0xad);
+        assert_ne!(bus.trace_root(), other.trace_root());
+    }
+
+    #[test]
+    fn trace_distinguishes_unclaimed_accesses() {
+        // Same kind/addr/value, but one bus has the address claimed:
+        // the unclaimed flag must separate the roots.
+        let mut claimed = Bus::default();
+        claimed.attach_io(Box::new(Scratch::new()), 0x300, 8);
+        claimed.enable_trace(false);
+        claimed.outb(0x300, 0);
+        let mut floating = Bus::default();
+        floating.enable_trace(false);
+        floating.outb(0x300, 0);
+        assert_ne!(claimed.trace_root(), floating.trace_root());
+    }
+
+    #[test]
+    fn drained_trace_segments_reproduce_the_contiguous_root() {
+        let mut whole = Bus::default();
+        whole.attach_io(Box::new(Scratch::new()), 0x300, 8);
+        whole.enable_trace(false);
+
+        let mut drained = Bus::default();
+        drained.attach_io(Box::new(Scratch::new()), 0x300, 8);
+        drained.enable_trace(true); // segments must retain leaves
+        let mut acc = crate::mmr::Mmr::streaming();
+
+        for round in 0..5 {
+            exercise(&mut whole);
+            exercise(&mut drained);
+            if round % 2 == 0 {
+                acc.append(&drained.drain_trace_segment().unwrap());
+            }
+        }
+        acc.append(&drained.drain_trace_segment().unwrap());
+        assert_eq!(acc.root(), whole.trace_root().unwrap());
+        assert_eq!(drained.trace().unwrap().len(), 0);
     }
 }

@@ -26,6 +26,10 @@ pub struct Ledger {
     pub mem_write: u64,
     /// Words moved by DMA transfers (device-driven).
     pub dma_words: u64,
+    /// DMA transfer bursts (one per [`Bus::charge_dma`] call).
+    ///
+    /// [`Bus::charge_dma`]: crate::Bus::charge_dma
+    pub dma_ops: u64,
     /// Accesses to unclaimed addresses (driver bugs).
     pub unclaimed: u64,
 }
@@ -74,6 +78,24 @@ impl Ledger {
         self.pio_ops() + self.mmio_ops()
     }
 
+    /// Number of bus *transactions* recorded: single port ops, block
+    /// instructions (one per `rep`, not per word), memory-mapped ops
+    /// and DMA bursts. This is exactly the number of authenticated
+    /// trace entries a traced [`Bus`] appends (unclaimed accesses are
+    /// already counted in their kind), so the MMR watermark and the
+    /// benches read it in O(1) instead of probing with an
+    /// `entries().count()`-style scan.
+    ///
+    /// [`Bus`]: crate::Bus
+    pub fn len(&self) -> u64 {
+        self.io_ops() + self.block_ops + self.mmio_ops() + self.dma_ops
+    }
+
+    /// Whether nothing has been recorded at all.
+    pub fn is_empty(&self) -> bool {
+        *self == Ledger::default()
+    }
+
     /// Accumulates another ledger's counts into this one. Merging is
     /// commutative and associative, so per-shard ledgers fold into a
     /// fleet total in any order with one deterministic result.
@@ -88,6 +110,7 @@ impl Ledger {
         self.mem_read += other.mem_read;
         self.mem_write += other.mem_write;
         self.dma_words += other.dma_words;
+        self.dma_ops += other.dma_ops;
         self.unclaimed += other.unclaimed;
     }
 
@@ -114,6 +137,7 @@ impl Ledger {
             mem_read: sub(self.mem_read, earlier.mem_read, "mem_read"),
             mem_write: sub(self.mem_write, earlier.mem_write, "mem_write"),
             dma_words: sub(self.dma_words, earlier.dma_words, "dma_words"),
+            dma_ops: sub(self.dma_ops, earlier.dma_ops, "dma_ops"),
             unclaimed: sub(self.unclaimed, earlier.unclaimed, "unclaimed"),
         }
     }
@@ -169,6 +193,13 @@ mod tests {
         assert_eq!(l.pio_ops(), 259);
         assert_eq!(l.mmio_ops(), 3);
         assert_eq!(l.total_ops(), 262);
+        // len() counts transactions: 3 singles + 1 block op + 3 mmio.
+        assert_eq!(l.len(), 7);
+        l.dma_ops += 1;
+        l.dma_words += 512;
+        assert_eq!(l.len(), 8, "a DMA burst is one transaction");
+        assert!(!l.is_empty());
+        assert!(Ledger::new().is_empty());
     }
 
     #[test]

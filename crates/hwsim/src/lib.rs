@@ -31,10 +31,12 @@ pub mod bus;
 pub mod clock;
 pub mod device;
 pub mod ledger;
+pub mod mmr;
 pub mod width;
 
 pub use bus::{Bus, DeviceId};
 pub use clock::{rate_per_s, throughput_mb_s, CostModel, SimClock};
 pub use device::{Device, IrqLine, SharedMem};
 pub use ledger::{Checkpoint, Ledger};
+pub use mmr::{bisect_divergence, Hash, Mmr, MmrForest, MmrLog};
 pub use width::Width;

@@ -12,10 +12,10 @@
 use hwsim::{Checkpoint, Ledger};
 use proptest::prelude::*;
 
-const COUNTERS: u64 = 13;
+const COUNTERS: u64 = 14;
 const SHARDS: usize = 4;
 
-/// Bumps one of the 13 public counters by `amount`.
+/// Bumps one of the 14 public counters by `amount`.
 fn apply(l: &mut Ledger, kind: u64, amount: u64) {
     match kind % COUNTERS {
         0..=2 => l.io_in[(kind % 3) as usize] += amount,
@@ -26,6 +26,7 @@ fn apply(l: &mut Ledger, kind: u64, amount: u64) {
         9 => l.mem_read += amount,
         10 => l.mem_write += amount,
         11 => l.dma_words += amount,
+        12 => l.dma_ops += amount,
         _ => l.unclaimed += amount,
     }
 }

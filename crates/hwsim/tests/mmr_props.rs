@@ -1,0 +1,145 @@
+//! Property tests for the MMR accumulator.
+//!
+//! The authenticated-trace machinery is only sound if:
+//!
+//! * roots are injective over leaf streams (equal roots ⇔ equal
+//!   streams, for the generated universe),
+//! * streaming (peaks-only) and retained accumulation agree, so the
+//!   O(peaks) replay mode proves the same statement,
+//! * drain cadence is invisible: merging per-segment forests equals
+//!   accumulating the merged log directly (the fleet's checkpoint
+//!   discipline), and
+//! * [`bisect_divergence`] names exactly the leaf a linear scan names,
+//!   in O(log N) hash compares (the sensitivity property the failure
+//!   reports rely on).
+
+use hwsim::mmr::{bisect_divergence, leaf_hash, linear_divergence, Hash, Mmr, MmrForest, MmrLog};
+use proptest::prelude::*;
+
+fn leaves(words: &[u64]) -> Vec<Hash> {
+    words.iter().map(|w| leaf_hash(&w.to_le_bytes())).collect()
+}
+
+fn mmr_of(hashes: &[Hash]) -> Mmr {
+    let mut m = Mmr::retained();
+    for &h in hashes {
+        m.push_leaf(h);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn roots_separate_streams(a in proptest::collection::vec(any::<u64>(), 0..200),
+                              b in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let (ra, rb) = (mmr_of(&leaves(&a)).root(), mmr_of(&leaves(&b)).root());
+        prop_assert_eq!(a == b, ra == rb);
+    }
+
+    #[test]
+    fn streaming_equals_retained(words in proptest::collection::vec(any::<u64>(), 0..300)) {
+        let mut s = Mmr::streaming();
+        for &h in &leaves(&words) {
+            s.push_leaf(h);
+        }
+        prop_assert_eq!(s.root(), mmr_of(&leaves(&words)).root());
+        // The memory bound the streaming mode exists for: peaks only.
+        prop_assert!(s.peaks().len() <= 64);
+    }
+
+    #[test]
+    fn fold_watermark_is_invisible(words in proptest::collection::vec(any::<u64>(), 1..300),
+                                   watermark in 1usize..40) {
+        let mut batched = MmrLog::new(false).with_watermark(watermark, usize::MAX);
+        let mut eager = MmrLog::new(false).with_watermark(1, usize::MAX);
+        for w in &words {
+            batched.push(&w.to_le_bytes());
+            eager.push(&w.to_le_bytes());
+        }
+        prop_assert_eq!(batched.len(), words.len() as u64);
+        prop_assert_eq!(batched.root(), eager.root());
+    }
+
+    /// Merge of per-shard forests ≡ MMR forest of the merged log: a
+    /// stream of (source, entry) records is split by drain cadence
+    /// into segments per source across two "shards"; merging the shard
+    /// forests must equal accumulating each source's whole stream.
+    #[test]
+    fn forest_merge_equals_merged_log(
+        records in proptest::collection::vec((0u64..6, any::<u64>()), 0..200),
+        cadence in 1usize..20,
+    ) {
+        // Ground truth: one MMR per source over its full subsequence.
+        let mut whole = MmrForest::new(false);
+        for &(src, w) in &records {
+            let seg = mmr_of(&leaves(&[w]));
+            whole.append_segment(src, &seg);
+        }
+
+        // Sharded: sources 0..3 on shard A, 3..6 on shard B, each
+        // draining per-source MmrLogs every `cadence` records.
+        let mut shards = [MmrForest::new(false), MmrForest::new(false)];
+        let mut logs: std::collections::BTreeMap<u64, MmrLog> = Default::default();
+        for (i, &(src, w)) in records.iter().enumerate() {
+            logs.entry(src).or_insert_with(|| MmrLog::new(true)).push(&w.to_le_bytes());
+            if (i + 1) % cadence == 0 {
+                for (&src, log) in logs.iter_mut() {
+                    let shard = &mut shards[(src >= 3) as usize];
+                    shard.append_segment(src, &log.take_segment());
+                }
+            }
+        }
+        for (&src, log) in logs.iter_mut() {
+            shards[(src >= 3) as usize].append_segment(src, &log.take_segment());
+        }
+        let [a, b] = shards;
+        let mut merged = a;
+        merged.merge(b);
+        prop_assert_eq!(merged.root(), whole.root());
+    }
+
+    /// Sensitivity: a single mutated leaf is located exactly, at the
+    /// index the linear scan reports, within the O(log N) budget.
+    #[test]
+    fn bisect_names_the_linear_divergence(
+        words in proptest::collection::vec(any::<u64>(), 1..400),
+        pick in any::<usize>(),
+        extra in 0usize..3,
+    ) {
+        let ls = leaves(&words);
+        let reference = mmr_of(&ls);
+        let k = pick % ls.len();
+        let mut mutated = ls.clone();
+        mutated[k] = leaf_hash(b"injected divergence");
+        // Optionally extend the mutated stream, so cross-length
+        // bisection is exercised too.
+        mutated.extend(leaves(&vec![3; extra]));
+        let m = mmr_of(&mutated);
+
+        let linear = linear_divergence(&reference, &m);
+        let d = bisect_divergence(&reference, &m).expect("streams differ");
+        prop_assert_eq!(Some(d.leaf), linear);
+        let n = reference.leaves().max(m.leaves());
+        let bound = 2 * (64 - n.leading_zeros() as u64) + 2;
+        prop_assert!(d.compares <= bound, "{} compares > {bound} for n={n}", d.compares);
+    }
+
+    /// Pure length divergence (one stream a proper prefix of the
+    /// other) is named at the first leaf past the common prefix.
+    #[test]
+    fn bisect_names_prefix_truncations(
+        words in proptest::collection::vec(any::<u64>(), 2..300),
+        cut in any::<usize>(),
+    ) {
+        let ls = leaves(&words);
+        let cut = 1 + cut % (ls.len() - 1);
+        let full = mmr_of(&ls);
+        let part = mmr_of(&ls[..cut]);
+        prop_assert!(full.root() != part.root());
+        let d = bisect_divergence(&full, &part).expect("lengths differ");
+        prop_assert_eq!(d.leaf, cut as u64);
+        prop_assert_eq!(linear_divergence(&full, &part), Some(cut as u64));
+    }
+}
