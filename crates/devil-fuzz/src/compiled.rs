@@ -115,7 +115,7 @@ impl CompiledStub {
     }
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -632,7 +632,7 @@ pub fn check_compiled_super(
 }
 
 /// The first differing line between the two observation streams.
-fn first_line_diff(want: &[String], got: &[String]) -> String {
+pub(crate) fn first_line_diff(want: &[String], got: &[String]) -> String {
     for (i, (w, g)) in want.iter().zip(got.iter()).enumerate() {
         if w != g {
             return format!("line {i}:\n  interpreter: {w}\n  compiled:    {g}");

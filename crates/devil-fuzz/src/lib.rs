@@ -17,7 +17,9 @@ use devil_runtime::{DeviceInstance, FakeAccess};
 use devil_sema::model::{Offset, StructId, VarId};
 
 pub mod compiled;
+pub mod compiled_rust;
 pub mod corpus;
+pub mod coverage;
 pub mod rooted;
 pub mod superfuzz;
 pub mod synthetic;

@@ -334,6 +334,31 @@ fn oracle_detects_injected_divergence() {
     assert_ne!(want, got, "oracle must notice the diverging device state");
 }
 
+/// Shipped coverage corpus replay, promoted into the C oracle's stream
+/// set: every minimized corpus stream (grown to saturate interpreter
+/// dispatch coverage) also replays bit-identically through the
+/// compiled C stubs and fused bodies.
+#[test]
+fn corpus_streams_match_compiled_stubs() {
+    if skip_without_cc() {
+        return;
+    }
+    for rig in rigs() {
+        for (i, words) in devil_fuzz::coverage::shipped_corpus(rig.name).iter().enumerate() {
+            let ops = decode(&rig.ir, words);
+            if let Err(e) = check_compiled(&rig.stub, &rig.ir, &rig.api, &ops) {
+                panic!("{}: corpus stream {i}: {e}", rig.name);
+            }
+            if !rig.api.superplans.is_empty() {
+                let seq = decode_super(&rig.ir, words);
+                if let Err(e) = check_compiled_super(&rig.stub, &rig.ir, &rig.api, &seq) {
+                    panic!("{}: corpus stream {i} (fused): {e}", rig.name);
+                }
+            }
+        }
+    }
+}
+
 /// Root-compare mode of the oracle agrees with the linear comparator
 /// on both sweep surfaces: every spec's stub sweep and every fused
 /// superplan sweep condense to one matching 32-byte root per side.

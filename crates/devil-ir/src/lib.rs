@@ -536,8 +536,23 @@ impl AccessPlan {
         mem: &[u64],
         input: u64,
     ) -> Option<&PlanVariant> {
+        self.select_variant_indexed(slots, slot_valid, mem, input).map(|(_, v)| v)
+    }
+
+    /// [`AccessPlan::select_variant`] with the computed mixed-radix
+    /// variant index exposed. The index is what coverage-guided
+    /// harnesses key on: `(access, index)` names one straight-line
+    /// variant of the compiled plan surface.
+    #[inline]
+    pub fn select_variant_indexed(
+        &self,
+        slots: &[u64],
+        slot_valid: &[bool],
+        mem: &[u64],
+        input: u64,
+    ) -> Option<(usize, &PlanVariant)> {
         if self.selector.is_empty() {
-            return self.variants.first();
+            return self.variants.first().map(|v| (0, v));
         }
         let mut idx = 0usize;
         for dim in &self.selector {
@@ -567,7 +582,7 @@ impl AccessPlan {
             variant.guards.iter().all(|g| g.holds(slots, slot_valid, mem, input)),
             "selector index and guard list disagree"
         );
-        Some(variant)
+        Some((idx, variant))
     }
 }
 

@@ -56,6 +56,119 @@ pub struct PlanStats {
     pub fused: u64,
 }
 
+impl PlanStats {
+    /// Counters accumulated since `earlier`: the per-op-stream delta
+    /// the coverage-guided fuzzer keys on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter of `earlier` exceeds this snapshot's —
+    /// counters are monotone between resets, so a negative delta means
+    /// the two snapshots are from different epochs (a reset or a
+    /// [`DeviceInstance::restore`] in between).
+    pub fn delta(self, earlier: PlanStats) -> PlanStats {
+        let sub = |field: &str, now: u64, then: u64| {
+            now.checked_sub(then).unwrap_or_else(|| {
+                panic!("PlanStats delta underflow on `{field}`: {now} - {then} (epoch mismatch)")
+            })
+        };
+        PlanStats {
+            straight: sub("straight", self.straight, earlier.straight),
+            guarded: sub("guarded", self.guarded, earlier.guarded),
+            general: sub("general", self.general, earlier.general),
+            fused: sub("fused", self.fused, earlier.fused),
+        }
+    }
+
+    /// Total dispatches across all paths.
+    pub fn total(self) -> u64 {
+        self.straight + self.guarded + self.general + self.fused
+    }
+}
+
+impl std::ops::Sub for PlanStats {
+    type Output = PlanStats;
+
+    /// `now - earlier`, as [`PlanStats::delta`].
+    fn sub(self, earlier: PlanStats) -> PlanStats {
+        self.delta(earlier)
+    }
+}
+
+impl std::ops::Add for PlanStats {
+    type Output = PlanStats;
+
+    fn add(self, rhs: PlanStats) -> PlanStats {
+        PlanStats {
+            straight: self.straight + rhs.straight,
+            guarded: self.guarded + rhs.guarded,
+            general: self.general + rhs.general,
+            fused: self.fused + rhs.fused,
+        }
+    }
+}
+
+/// Which access a recorded dispatch belongs to (the coverage map's
+/// access-id key).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessRef {
+    /// `read_id` of a variable.
+    ReadVar(VarId),
+    /// `write_id` of a variable.
+    WriteVar(VarId),
+    /// `read_struct_id` of a structure.
+    ReadStruct(StructId),
+    /// `write_struct_id` of a structure.
+    WriteStruct(StructId),
+    /// `run_superplan` of a fused sequence.
+    Superplan(usize),
+}
+
+/// Why a dispatch bypassed its compiled plan and took the general
+/// interpreter (or, for superplans, the unfused op sequence).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FallbackCause {
+    /// Fast plans disabled or debug checks on.
+    PlansOff,
+    /// The access compiled no plan.
+    NoPlan,
+    /// A family argument fell outside its parameter domain, so the
+    /// general path handles (and error-reports) the access.
+    ArgDomain,
+    /// Cell-guarded selection missed: a memory cell holds a value
+    /// outside its variable's raw space (cells store unmasked).
+    SelectMiss,
+    /// The cumulative recursion depth plus the plan's own bound would
+    /// exceed the general path's limit.
+    Depth,
+}
+
+/// How one dispatch resolved, when the opt-in trace is recording.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DispatchOutcome {
+    /// A plan variant executed; the payload is the selected mixed-radix
+    /// variant index (0 for unconditional single-variant plans, and the
+    /// fused variant index for superplans).
+    Variant(u32),
+    /// A memory-cell read served directly from the cell (no steps).
+    Cell,
+    /// The general interpreter (or the unfused superplan sequence)
+    /// handled the access.
+    Fallback(FallbackCause),
+}
+
+/// One dispatch recorded by the opt-in trace
+/// ([`DeviceInstance::set_dispatch_trace`]): which access ran and which
+/// plan variant — or fallback cause — it resolved to. This is the
+/// coverage signal the guided fuzzer feeds on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DispatchRecord {
+    /// The dispatched access.
+    pub access: AccessRef,
+    /// How it resolved.
+    pub outcome: DispatchOutcome,
+}
+
 /// A register's pre/post/set action lists, shared by `Arc` handle.
 type ActionLists = (Arc<[Action]>, Arc<[Action]>, Arc<[Action]>);
 
@@ -188,6 +301,11 @@ pub struct DeviceInstance {
     /// Per-superplan fused-dispatch counts, indexed like
     /// [`DeviceIr::superplans`].
     superplan_hits: Vec<u64>,
+    /// Opt-in dispatch trace ([`DeviceInstance::set_dispatch_trace`]):
+    /// when `Some`, every top-level dispatch appends a
+    /// [`DispatchRecord`]. Not part of [`InstanceSnapshot`] — the trace
+    /// is harness instrumentation, not device state.
+    trace: Option<Vec<DispatchRecord>>,
     /// Reusable `RegId` buffers for the general path's
     /// serialization-order flattening. A pool rather than a single
     /// buffer: actions recurse into nested accesses, each popping its
@@ -241,6 +359,7 @@ impl DeviceInstance {
             fast_plans: true,
             stats: PlanStats::default(),
             superplan_hits,
+            trace: None,
             order_pool: Vec::new(),
         }
     }
@@ -316,6 +435,30 @@ impl DeviceInstance {
     /// [`DeviceIr::superplans`].
     pub fn superplan_hits(&self) -> &[u64] {
         &self.superplan_hits
+    }
+
+    /// Turns the per-dispatch trace on or off. While on, every
+    /// top-level variable/struct/superplan dispatch records which plan
+    /// variant it selected (or why it fell back), for the
+    /// coverage-guided fuzzer. Off by default; turning it off discards
+    /// any pending records.
+    pub fn set_dispatch_trace(&mut self, on: bool) {
+        if on {
+            if self.trace.is_none() {
+                self.trace = Some(Vec::new());
+            }
+        } else {
+            self.trace = None;
+        }
+    }
+
+    /// Drains the recorded dispatch trace, leaving tracing enabled (or
+    /// returns an empty vec when tracing is off).
+    pub fn take_dispatch_trace(&mut self) -> Vec<DispatchRecord> {
+        match self.trace.as_mut() {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
     }
 
     /// The flat cache: per-slot raw values and their validity flags.
@@ -440,19 +583,31 @@ impl DeviceInstance {
         // against the parameter domains first (out-of-domain arguments
         // fall through so the general path reports the exact error).
         // Debug checks take the general path so every validation runs.
+        let mut cause = FallbackCause::PlansOff;
         if self.fast_plans && !self.checks {
-            let DeviceInstance { ir, slots, slot_valid, mem, stats, .. } = &mut *self;
+            let DeviceInstance { ir, slots, slot_valid, mem, stats, trace, .. } = &mut *self;
             let var = ir.var(vid);
+            cause = FallbackCause::NoPlan;
             if let Some(plan) = &var.read_plan {
+                cause = FallbackCause::ArgDomain;
                 if var.params.len() == args.len()
                     && var.params.iter().zip(args).all(|(p, &a)| p.contains(a))
                 {
                     // Memory cells serve directly — no steps, no guards.
                     if let Some(cell) = plan.cell {
                         stats.straight += 1;
+                        if let Some(t) = trace.as_mut() {
+                            t.push(DispatchRecord {
+                                access: AccessRef::ReadVar(vid),
+                                outcome: DispatchOutcome::Cell,
+                            });
+                        }
                         return Ok(mem[cell]);
                     }
-                    if let Some(variant) = plan.select_variant(slots, slot_valid, mem, 0) {
+                    cause = FallbackCause::SelectMiss;
+                    if let Some((idx, variant)) =
+                        plan.select_variant_indexed(slots, slot_valid, mem, 0)
+                    {
                         let serve_cached = !var.behavior.volatile && !var.behavior.read_trigger;
                         if !(serve_cached
                             && plan.assemble.iter().all(|(s, _)| slot_valid[s.resolve(args)]))
@@ -473,6 +628,12 @@ impl DeviceInstance {
                         } else {
                             stats.guarded += 1;
                         }
+                        if let Some(t) = trace.as_mut() {
+                            t.push(DispatchRecord {
+                                access: AccessRef::ReadVar(vid),
+                                outcome: DispatchOutcome::Variant(idx as u32),
+                            });
+                        }
                         let mut v = 0u64;
                         for (slot, seg) in &plan.assemble {
                             v |= seg.extract(slots[slot.resolve(args)]);
@@ -484,6 +645,12 @@ impl DeviceInstance {
         }
         self.validate_args(vid, args)?;
         self.stats.general += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(DispatchRecord {
+                access: AccessRef::ReadVar(vid),
+                outcome: DispatchOutcome::Fallback(cause),
+            });
+        }
         let var = self.ir.var(vid);
         if let Some(cell) = var.mem_cell {
             return Ok(self.mem[cell]);
@@ -532,11 +699,11 @@ impl DeviceInstance {
 
     /// Runs a variable write through its precompiled plan, when one
     /// applies in the current mode. The caller has already validated
-    /// `args`. Returns `false` when the general interpreter must handle
-    /// the write instead — including when the current recursion depth
-    /// plus the plan's own depth bound would exceed the limit the
-    /// general path enforces (the fallback then errors at exactly the
-    /// point the general interpreter would).
+    /// `args`. Returns the fallback cause when the general interpreter
+    /// must handle the write instead — including when the current
+    /// recursion depth plus the plan's own depth bound would exceed the
+    /// limit the general path enforces (the fallback then errors at
+    /// exactly the point the general interpreter would).
     fn try_write_plan(
         &mut self,
         dev: &mut dyn DeviceAccess,
@@ -544,21 +711,22 @@ impl DeviceInstance {
         args: &[u64],
         value: u64,
         depth: u32,
-    ) -> bool {
+    ) -> Result<(), FallbackCause> {
         if !self.fast_plans || self.checks {
-            return false;
+            return Err(FallbackCause::PlansOff);
         }
-        let DeviceInstance { ir, slots, slot_valid, mem, stats, .. } = &mut *self;
+        let DeviceInstance { ir, slots, slot_valid, mem, stats, trace, .. } = &mut *self;
         let var = ir.var(vid);
-        let Some(plan) = &var.write_plan else { return false };
+        let Some(plan) = &var.write_plan else { return Err(FallbackCause::NoPlan) };
         if depth.saturating_add(plan.max_depth) > MAX_DEPTH {
-            return false;
+            return Err(FallbackCause::Depth);
         }
         // Input-sourced guards see the caller's value (store-then-
         // evaluate order); cell-guarded selection can miss on
         // out-of-range cell values, falling back to the general path.
-        let Some(variant) = plan.select_variant(slots, slot_valid, mem, value) else {
-            return false;
+        let Some((idx, variant)) = plan.select_variant_indexed(slots, slot_valid, mem, value)
+        else {
+            return Err(FallbackCause::SelectMiss);
         };
         exec_plan_steps(
             dev,
@@ -575,7 +743,13 @@ impl DeviceInstance {
         } else {
             stats.guarded += 1;
         }
-        true
+        if let Some(t) = trace.as_mut() {
+            t.push(DispatchRecord {
+                access: AccessRef::WriteVar(vid),
+                outcome: DispatchOutcome::Variant(idx as u32),
+            });
+        }
+        Ok(())
     }
 
     fn write_id_depth(
@@ -591,10 +765,17 @@ impl DeviceInstance {
         // the common case) take the fast path from any depth, as long
         // as the cumulative depth stays within the general path's
         // recursion budget.
-        if self.try_write_plan(dev, vid, args, value, depth) {
-            return Ok(());
-        }
+        let cause = match self.try_write_plan(dev, vid, args, value, depth) {
+            Ok(()) => return Ok(()),
+            Err(cause) => cause,
+        };
         self.stats.general += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(DispatchRecord {
+                access: AccessRef::WriteVar(vid),
+                outcome: DispatchOutcome::Fallback(cause),
+            });
+        }
         let var = self.ir.var(vid);
         if depth > MAX_DEPTH {
             return Err(RtError::RecursionLimit(var.name.clone()));
@@ -649,10 +830,14 @@ impl DeviceInstance {
     /// line) executes when one exists; conditional serializations run
     /// the guard-selected variant.
     pub fn read_struct_id(&mut self, dev: &mut dyn DeviceAccess, sid: StructId) -> RtResult<()> {
+        let mut cause = FallbackCause::PlansOff;
         if self.fast_plans && !self.checks {
-            let DeviceInstance { ir, slots, slot_valid, mem, stats, .. } = &mut *self;
+            let DeviceInstance { ir, slots, slot_valid, mem, stats, trace, .. } = &mut *self;
+            cause = FallbackCause::NoPlan;
             if let Some(plan) = &ir.strct(sid).read_plan {
-                if let Some(variant) = plan.select_variant(slots, slot_valid, mem, 0) {
+                cause = FallbackCause::SelectMiss;
+                if let Some((idx, variant)) = plan.select_variant_indexed(slots, slot_valid, mem, 0)
+                {
                     exec_plan_steps(
                         dev,
                         slots,
@@ -668,11 +853,23 @@ impl DeviceInstance {
                     } else {
                         stats.guarded += 1;
                     }
+                    if let Some(t) = trace.as_mut() {
+                        t.push(DispatchRecord {
+                            access: AccessRef::ReadStruct(sid),
+                            outcome: DispatchOutcome::Variant(idx as u32),
+                        });
+                    }
                     return Ok(());
                 }
             }
         }
         self.stats.general += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(DispatchRecord {
+                access: AccessRef::ReadStruct(sid),
+                outcome: DispatchOutcome::Fallback(cause),
+            });
+        }
         let mut order = self.pop_order_buf();
         let mut res = self.plan_regs_into(&self.ir.strct(sid).read_order, &mut order);
         if res.is_ok() {
@@ -771,11 +968,17 @@ impl DeviceInstance {
         // the cache state they test is exactly what the general path's
         // up-front condition evaluation would see. Depth budget
         // permitting (see `try_write_plan`).
+        let mut cause = FallbackCause::PlansOff;
         if self.fast_plans && !self.checks {
-            let DeviceInstance { ir, slots, slot_valid, mem, stats, .. } = &mut *self;
+            let DeviceInstance { ir, slots, slot_valid, mem, stats, trace, .. } = &mut *self;
+            cause = FallbackCause::NoPlan;
             if let Some(plan) = &ir.strct(sid).write_plan {
+                cause = FallbackCause::Depth;
                 if depth.saturating_add(plan.max_depth) <= MAX_DEPTH {
-                    if let Some(variant) = plan.select_variant(slots, slot_valid, mem, 0) {
+                    cause = FallbackCause::SelectMiss;
+                    if let Some((idx, variant)) =
+                        plan.select_variant_indexed(slots, slot_valid, mem, 0)
+                    {
                         exec_plan_steps(
                             dev,
                             slots,
@@ -791,12 +994,24 @@ impl DeviceInstance {
                         } else {
                             stats.guarded += 1;
                         }
+                        if let Some(t) = trace.as_mut() {
+                            t.push(DispatchRecord {
+                                access: AccessRef::WriteStruct(sid),
+                                outcome: DispatchOutcome::Variant(idx as u32),
+                            });
+                        }
                         return Ok(());
                     }
                 }
             }
         }
         self.stats.general += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.push(DispatchRecord {
+                access: AccessRef::WriteStruct(sid),
+                outcome: DispatchOutcome::Fallback(cause),
+            });
+        }
         let st = self.ir.strct(sid);
         if depth > MAX_DEPTH {
             return Err(RtError::RecursionLimit(st.name.clone()));
@@ -913,12 +1128,14 @@ impl DeviceInstance {
         block_in: &mut [u64],
         outs: &mut [u64],
     ) -> RtResult<()> {
+        let mut cause = FallbackCause::PlansOff;
         if self.fast_plans && !self.checks {
-            let DeviceInstance { ir, slots, slot_valid, mem, stats, superplan_hits, .. } =
+            let DeviceInstance { ir, slots, slot_valid, mem, stats, superplan_hits, trace, .. } =
                 &mut *self;
             let Some(sp) = ir.superplans().get(sid) else {
                 return Err(RtError::Unknown(format!("superplan #{sid}")));
             };
+            cause = FallbackCause::Depth;
             if sp.plan.max_depth <= MAX_DEPTH {
                 let mut io = SuperIo { block_out, block_in, outs };
                 exec_plan_steps(
@@ -931,7 +1148,10 @@ impl DeviceInstance {
                     0,
                     &mut io,
                 );
-                if let Some(variant) = sp.plan.select_variant(slots, slot_valid, mem, 0) {
+                cause = FallbackCause::SelectMiss;
+                if let Some((idx, variant)) =
+                    sp.plan.select_variant_indexed(slots, slot_valid, mem, 0)
+                {
                     exec_plan_steps(
                         dev,
                         slots,
@@ -944,9 +1164,21 @@ impl DeviceInstance {
                     );
                     stats.fused += 1;
                     superplan_hits[sid] += 1;
+                    if let Some(t) = trace.as_mut() {
+                        t.push(DispatchRecord {
+                            access: AccessRef::Superplan(sid),
+                            outcome: DispatchOutcome::Variant(idx as u32),
+                        });
+                    }
                     return Ok(());
                 }
             }
+        }
+        if let Some(t) = self.trace.as_mut() {
+            t.push(DispatchRecord {
+                access: AccessRef::Superplan(sid),
+                outcome: DispatchOutcome::Fallback(cause),
+            });
         }
         self.run_superplan_unfused(dev, sid, args, block_out, block_in, outs)
     }
@@ -2079,6 +2311,125 @@ mod tests {
         assert_eq!(d.read(&mut dev, "v").unwrap(), 0x5a);
         assert_eq!(d.read(&mut dev, "p").unwrap(), 0x3);
         assert_eq!(dev.ops(), ops);
+    }
+
+    #[test]
+    fn plan_stats_delta_arithmetic() {
+        let a = PlanStats { straight: 5, guarded: 3, general: 2, fused: 1 };
+        let b = PlanStats { straight: 9, guarded: 3, general: 4, fused: 6 };
+        assert_eq!(b.delta(a), PlanStats { straight: 4, guarded: 0, general: 2, fused: 5 });
+        assert_eq!(b - a, b.delta(a));
+        assert_eq!(a + b.delta(a), b);
+        assert_eq!(b.total(), 22);
+        assert_eq!(b.delta(b), PlanStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "delta underflow")]
+    fn plan_stats_delta_rejects_epoch_mismatch() {
+        let a = PlanStats { straight: 5, ..PlanStats::default() };
+        let _ = PlanStats::default().delta(a);
+    }
+
+    #[test]
+    fn plan_stats_no_drift_across_snapshot_restore() {
+        let mut d = instance(
+            r#"device d (base : bit[8] port @ {0..0}) {
+                 register r = base @ 0 : bit[8];
+                 variable v = r, volatile : int(8);
+               }"#,
+        );
+        let mut dev = FakeAccess::new();
+        d.write(&mut dev, "v", 1).unwrap();
+        d.read(&mut dev, "v").unwrap();
+        let snap = d.snapshot();
+        let at_snap = d.plan_stats();
+        d.read(&mut dev, "v").unwrap();
+        d.read(&mut dev, "v").unwrap();
+        let after = d.plan_stats();
+        assert_eq!(after.delta(at_snap).total(), 2);
+        // Restore rewinds the counters to exactly the snapshot's epoch:
+        // deltas taken across restore boundaries stay drift-free.
+        d.restore(&snap);
+        assert_eq!(d.plan_stats(), at_snap);
+        d.read(&mut dev, "v").unwrap();
+        assert_eq!(d.plan_stats().delta(at_snap).total(), 1);
+    }
+
+    #[test]
+    fn plan_stats_fused_degradation_keeps_delta_consistent() {
+        // A write plan with a pre-action (index write folded into the
+        // straight line), degraded to the general path by plan mode.
+        let mut d = instance(
+            r#"device d (base : bit[8] port @ {0..1}) {
+                 register r = base @ 0, pre {idx = 1} : bit[8];
+                 register x = base @ 1 : bit[8];
+                 variable idx = x : int(8);
+                 variable v = r : int(8);
+               }"#,
+        );
+        let mut dev = FakeAccess::new();
+        let before = d.plan_stats();
+        d.write(&mut dev, "v", 0x11).unwrap();
+        let fast = d.plan_stats().delta(before);
+        assert_eq!(fast.general, 0, "in-range index should dispatch on the plan");
+        assert!(fast.total() >= 1);
+        // An out-of-range cell value can only come from the general
+        // path itself; emulate the miss by disabling plans.
+        d.set_fast_plans(false);
+        let before = d.plan_stats();
+        d.write(&mut dev, "v", 0x22).unwrap();
+        let slow = d.plan_stats().delta(before);
+        assert!(slow.general >= 1, "general path must count its dispatches: {slow:?}");
+        assert_eq!(slow.straight, 0);
+        assert_eq!(slow.fused, 0);
+        d.set_fast_plans(true);
+    }
+
+    #[test]
+    fn dispatch_trace_records_variants_and_fallbacks() {
+        let mut d = instance(
+            r#"device d (base : bit[8] port @ {0..0}) {
+                 register r = base @ 0 : bit[8];
+                 variable v = r, volatile : int(8);
+               }"#,
+        );
+        let mut dev = FakeAccess::new();
+        d.set_dispatch_trace(true);
+        let vid = d.var_id("v").unwrap();
+        d.write(&mut dev, "v", 7).unwrap();
+        d.read(&mut dev, "v").unwrap();
+        d.set_fast_plans(false);
+        d.read(&mut dev, "v").unwrap();
+        d.set_fast_plans(true);
+        let trace = d.take_dispatch_trace();
+        assert_eq!(
+            trace,
+            vec![
+                DispatchRecord {
+                    access: AccessRef::WriteVar(vid),
+                    outcome: DispatchOutcome::Variant(0)
+                },
+                DispatchRecord {
+                    access: AccessRef::ReadVar(vid),
+                    outcome: DispatchOutcome::Variant(0)
+                },
+                DispatchRecord {
+                    access: AccessRef::ReadVar(vid),
+                    outcome: DispatchOutcome::Fallback(FallbackCause::PlansOff)
+                },
+            ]
+        );
+        // Drained; tracing still on.
+        assert!(d.take_dispatch_trace().is_empty());
+        d.read(&mut dev, "v").unwrap();
+        assert_eq!(d.take_dispatch_trace().len(), 1);
+        // Snapshots ignore the trace: instrumentation is not state.
+        let snap = d.snapshot();
+        d.read(&mut dev, "v").unwrap();
+        d.set_dispatch_trace(false);
+        assert_eq!(d.snapshot().slots, snap.slots);
+        assert!(d.take_dispatch_trace().is_empty());
     }
 
     #[test]

@@ -35,4 +35,7 @@ pub mod interp;
 
 pub use access::{DeviceAccess, FakeAccess, MappedPort, PortMap, Space};
 pub use error::{RtError, RtResult};
-pub use interp::{sign_extend, DeviceInstance, InstanceSnapshot, PlanStats};
+pub use interp::{
+    sign_extend, AccessRef, DeviceInstance, DispatchOutcome, DispatchRecord, FallbackCause,
+    InstanceSnapshot, PlanStats,
+};
