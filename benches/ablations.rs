@@ -55,7 +55,7 @@ fn bench_ablations(c: &mut Criterion) {
     g.bench_function("struct_read_cached_fields", |b| {
         let mut bus = mouse_bus();
         let mut drv = DevilBusmouse::new(BASE);
-        b.iter(|| black_box(drv.read_state(&mut bus)))
+        b.iter(|| black_box(drv.read_state(&mut bus)));
     });
     g.bench_function("dma_vs_pio_sweep", |b| b.iter(|| black_box(table2::run(PioMove::Block))));
     g.finish();

@@ -21,7 +21,7 @@ fn bench_micro(c: &mut Criterion) {
             let v: u64 = black_box(1);
             dev.write(0, 3, 8, (v & 0x91) | 0x90);
             black_box(&dev);
-        })
+        });
     });
 
     // The seed interpreter doing the same masked write (general path:
@@ -33,7 +33,7 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| {
             inst.write(&mut dev, "config", black_box(1)).unwrap();
             black_box(&dev);
-        })
+        });
     });
 
     // The precompiled-plan fast path for the identical write: offsets,
@@ -44,7 +44,7 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| {
             inst.write(&mut dev, "config", black_box(1)).unwrap();
             black_box(&dev);
-        })
+        });
     });
 
     // Steady-state idempotent read, general path vs precompiled plan
@@ -63,13 +63,13 @@ fn bench_micro(c: &mut Criterion) {
         inst.set_fast_plans(false);
         let mut dev = FakeAccess::new();
         inst.write(&mut dev, "v", 0x5a).unwrap();
-        b.iter(|| black_box(inst.read(&mut dev, "v").unwrap()))
+        b.iter(|| black_box(inst.read(&mut dev, "v").unwrap()));
     });
     g.bench_function("plan_cached_read", |b| {
         let mut inst = read_instance();
         let mut dev = FakeAccess::new();
         inst.write(&mut dev, "v", 0x5a).unwrap();
-        b.iter(|| black_box(inst.read(&mut dev, "v").unwrap()))
+        b.iter(|| black_box(inst.read(&mut dev, "v").unwrap()));
     });
 
     // The Figure 3 hot loop: a full busmouse structure read (4 index
@@ -86,7 +86,7 @@ fn bench_micro(c: &mut Criterion) {
             }
             let dx = ((raw[1] & 0xf) << 4) | (raw[0] & 0xf);
             black_box(dx as i8);
-        })
+        });
     });
 
     // The general interpreter walking the order, running pre-actions
@@ -98,7 +98,7 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| {
             inst.read_struct(&mut dev, "mouse_state").unwrap();
             black_box(inst.get_field("dx").unwrap());
-        })
+        });
     });
 
     // The precompiled struct plan: 8 straight-line steps, field
@@ -112,7 +112,7 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| {
             inst.read_struct_id(&mut dev, sid).unwrap();
             black_box(inst.get_field_id(dx).unwrap());
-        })
+        });
     });
 
     // The paper's marquee conditional serialization: the full 8259A
@@ -130,7 +130,7 @@ fn bench_micro(c: &mut Criterion) {
             dev.write(0, 1, 8, 0x01); // ICW4: 8086 mode
             dev.write(0, 1, 8, 0xfb); // OCW1: mask
             black_box(&dev);
-        })
+        });
     });
 
     let pic_instance = || {
@@ -171,7 +171,7 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| {
             inst.write_struct_id(&mut dev, sid).unwrap();
             black_box(&dev);
-        })
+        });
     });
 
     // The guard-split plan: two slot guards select the straight-line
@@ -184,7 +184,7 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| {
             inst.write_struct_id(&mut dev, sid).unwrap();
             black_box(&dev);
-        })
+        });
     });
 
     // A formerly-fallback shape: a data read whose pre-action flushes
@@ -202,14 +202,14 @@ fn bench_micro(c: &mut Criterion) {
         let payload = inst.ir().var_id("payload").unwrap();
         let mut dev = FakeAccess::new();
         dev.preset(0, 2, 0x99);
-        b.iter(|| black_box(inst.read_id(&mut dev, payload, &[]).unwrap()))
+        b.iter(|| black_box(inst.read_id(&mut dev, payload, &[]).unwrap()));
     });
     g.bench_function("plan_nested_cond_read", |b| {
         let mut inst = nested_instance();
         let payload = inst.ir().var_id("payload").unwrap();
         let mut dev = FakeAccess::new();
         dev.preset(0, 2, 0x99);
-        b.iter(|| black_box(inst.read_id(&mut dev, payload, &[]).unwrap()))
+        b.iter(|| black_box(inst.read_id(&mut dev, payload, &[]).unwrap()));
     });
 
     // Retired fallback cause 1: a write whose condition tests the
@@ -227,7 +227,7 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| {
             inst.write_id(&mut dev, w, &[], black_box(1)).unwrap();
             black_box(&dev);
-        })
+        });
     });
     g.bench_function("plan_self_tested_write", |b| {
         let mut inst = selfw_instance();
@@ -236,7 +236,7 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| {
             inst.write_id(&mut dev, w, &[], black_box(1)).unwrap();
             black_box(&dev);
-        })
+        });
     });
 
     // The trace-fusion flagship loops, wall-clock on real hwsim rigs.
@@ -267,14 +267,14 @@ fn bench_micro(c: &mut Criterion) {
         let drv = drivers::HandIde::new(0x1f0);
         b.iter(|| {
             black_box(drv.read_pio(&mut bus, black_box(0), 4, pio_cfg(drivers::PioMove::Loop)))
-        })
+        });
     });
     g.bench_function("plan_ide_pio_read4", |b| {
         let mut bus = ide_rig();
         let mut drv = drivers::DevilIde::new(0x1f0);
         b.iter(|| {
             black_box(drv.read_pio(&mut bus, black_box(0), 4, pio_cfg(drivers::PioMove::Block)))
-        })
+        });
     });
     g.bench_function("fused_ide_pio_read4", |b| {
         let mut bus = ide_rig();
@@ -286,7 +286,7 @@ fn bench_micro(c: &mut Criterion) {
                 4,
                 pio_cfg(drivers::PioMove::Block),
             ))
-        })
+        });
     });
 
     let ne2k_rig = || {
@@ -314,7 +314,7 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| {
             drv.send(&mut bus, black_box(&frame));
             black_box(&bus);
-        })
+        });
     });
     g.bench_function("plan_ne2000_tx", |b| {
         let mut bus = ne2k_rig();
@@ -323,7 +323,7 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| {
             drv.send(&mut bus, black_box(&frame));
             black_box(&bus);
-        })
+        });
     });
     g.bench_function("fused_ne2000_tx", |b| {
         let mut bus = ne2k_rig();
@@ -332,7 +332,7 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| {
             drv.send_fused(&mut bus, black_box(&frame));
             black_box(&bus);
-        })
+        });
     });
 
     // Compilation pipeline cost: parse + check + lower.
@@ -340,7 +340,7 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| {
             let model = devil_sema::check_source(black_box(drivers::specs::BUSMOUSE), &[]).unwrap();
             black_box(devil_ir::lower(&model));
-        })
+        });
     });
     g.finish();
 
@@ -349,7 +349,7 @@ fn bench_micro(c: &mut Criterion) {
     // uses). Recorded as specs/sec rather than ns/iter: the corpus is
     // compiled once, not looped.
     let corpus = devil_fuzz::corpus::sampled_corpus(4);
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let t = std::time::Instant::now();
     let verdicts = devil_fuzz::corpus::compile_batch(&corpus, workers);
     let dt = t.elapsed().as_secs_f64();
@@ -373,12 +373,12 @@ fn bench_mmr(c: &mut Criterion) {
     // tens of nanoseconds of each other.
     g.bench_function("outb_untraced", |b| {
         let mut bus = Bus::default();
-        b.iter(|| bus.io_write(black_box(0x300), black_box(0x5a), Width::W8))
+        b.iter(|| bus.io_write(black_box(0x300), black_box(0x5a), Width::W8));
     });
     g.bench_function("outb_traced", |b| {
         let mut bus = Bus::default();
         bus.enable_trace(false);
-        b.iter(|| bus.io_write(black_box(0x300), black_box(0x5a), Width::W8))
+        b.iter(|| bus.io_write(black_box(0x300), black_box(0x5a), Width::W8));
     });
 
     // One deferred append including its amortized share of the
@@ -386,7 +386,7 @@ fn bench_mmr(c: &mut Criterion) {
     g.bench_function("log_append_26b", |b| {
         let mut log = MmrLog::new(false);
         let entry = [0xa5u8; 26];
-        b.iter(|| log.push(black_box(&entry)))
+        b.iter(|| log.push(black_box(&entry)));
     });
     g.finish();
 
@@ -419,7 +419,7 @@ fn bench_mmr(c: &mut Criterion) {
     // `diff-longrun` configuration, gated behind MMR_BENCH_FULL=1.
     let model = devil_sema::check_source(drivers::specs::BUSMOUSE, &[]).unwrap();
     let ir = devil_ir::lower(&model);
-    let full = std::env::var("MMR_BENCH_FULL").map(|v| v == "1").unwrap_or(false);
+    let full = std::env::var("MMR_BENCH_FULL").is_ok_and(|v| v == "1");
     let tiers: &[(u64, &str)] = if full {
         &[(10_000, "10k"), (100_000, "100k"), (1_000_000, "1m")]
     } else {

@@ -24,10 +24,10 @@ fn bench_table1(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1");
     g.sample_size(10);
     g.bench_function("busmouse_c_mutation", |b| {
-        b.iter(|| black_box(mutation::analyze_c(mutation::fixtures::BUSMOUSE_C, &[])))
+        b.iter(|| black_box(mutation::analyze_c(mutation::fixtures::BUSMOUSE_C, &[])));
     });
     g.bench_function("busmouse_devil_mutation", |b| {
-        b.iter(|| black_box(mutation::analyze_devil(mutation::engine::SPEC_BUSMOUSE)))
+        b.iter(|| black_box(mutation::analyze_devil(mutation::engine::SPEC_BUSMOUSE)));
     });
     g.finish();
 }

@@ -12,10 +12,10 @@ fn bench_table3(c: &mut Criterion) {
     let mut g = c.benchmark_group("table3");
     g.sample_size(10);
     g.bench_function("fill_2x2_8bpp", |b| {
-        b.iter(|| black_box(run_cell(Primitive::Fill, Depth::Bpp8, 2)))
+        b.iter(|| black_box(run_cell(Primitive::Fill, Depth::Bpp8, 2)));
     });
     g.bench_function("fill_400x400_32bpp", |b| {
-        b.iter(|| black_box(run_cell(Primitive::Fill, Depth::Bpp32, 400)))
+        b.iter(|| black_box(run_cell(Primitive::Fill, Depth::Bpp32, 400)));
     });
     g.finish();
 }

@@ -12,10 +12,10 @@ fn bench_table4(c: &mut Criterion) {
     let mut g = c.benchmark_group("table4");
     g.sample_size(10);
     g.bench_function("copy_2x2_8bpp", |b| {
-        b.iter(|| black_box(run_cell(Primitive::Copy, Depth::Bpp8, 2)))
+        b.iter(|| black_box(run_cell(Primitive::Copy, Depth::Bpp8, 2)));
     });
     g.bench_function("copy_100x100_16bpp", |b| {
-        b.iter(|| black_box(run_cell(Primitive::Copy, Depth::Bpp16, 100)))
+        b.iter(|| black_box(run_cell(Primitive::Copy, Depth::Bpp16, 100)));
     });
     g.finish();
 }

@@ -558,7 +558,7 @@ mod tests {
         let (mut c, _, _) = controller(0x1234);
         c.io_write(reg::COMMAND, cmd::IDENTIFY as u64, Width::W8);
         let mut words = [0u16; 256];
-        for w in words.iter_mut() {
+        for w in &mut words {
             *w = c.io_read(reg::DATA, Width::W16) as u16;
         }
         assert_eq!(words[60] as u64 | ((words[61] as u64) << 16), 0x1234);

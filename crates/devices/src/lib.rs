@@ -17,6 +17,8 @@
 //! | [`i8259`]     | 8259A interrupt controller| §2.2 control flow    |
 //! | [`cs4236b`]   | Crystal CS4236B codec     | §2.2 automata        |
 
+#![forbid(unsafe_code)]
+
 pub mod busmouse;
 pub mod cs4236b;
 pub mod i8237;

@@ -57,7 +57,7 @@ fn main() -> ExitCode {
             }
         }
         "emit-c" => {
-            let prefix = args.get(2).map(String::as_str).unwrap_or("dev");
+            let prefix = args.get(2).map_or("dev", String::as_str);
             match devil_codegen::compile_to_c(&src, prefix) {
                 Ok(c) => {
                     print!("{c}");

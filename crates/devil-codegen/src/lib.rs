@@ -2,6 +2,8 @@
 //! Figure 3 macro output) and Rust (the modern `svd2rust`-shaped API),
 //! plus helpers shared by the `devilc` command-line tool.
 
+#![forbid(unsafe_code)]
+
 pub mod c;
 pub mod plan;
 pub mod rust;

@@ -20,7 +20,7 @@ fn main() {
                 format!("{:.1}", s.mutants_per_site()),
                 format!("{:.1}", s.undetected_per_site()),
                 format!("{:.1}", s.sites_with_undetected()),
-                ratio.map(|r| format!("{r:.1}")).unwrap_or_else(|| "-".into()),
+                ratio.map_or_else(|| "-".into(), |r| format!("{r:.1}")),
             ]);
         }
     }

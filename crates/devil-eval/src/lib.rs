@@ -5,6 +5,8 @@
 //! model (`hwsim::CostModel`); the reproduction target is the *shape* —
 //! who wins, by what factor, where the overhead appears.
 
+#![forbid(unsafe_code)]
+
 pub mod table2;
 pub mod table34;
 

@@ -33,6 +33,8 @@
 //! are *excluded*: they measure queueing, which legitimately depends
 //! on the shard count.
 
+#![forbid(unsafe_code)]
+
 mod rng;
 mod workload;
 

@@ -429,7 +429,7 @@ impl FleetInstance {
                 }
             }
             Rig::NetBurst { drv, frame } => {
-                for b in frame[12..20].iter_mut() {
+                for b in &mut frame[12..20] {
                     *b = rng.next_u64() as u8;
                 }
                 let len = 20 + rng.below(44) as usize;

@@ -114,7 +114,7 @@ fn gate_names_the_instance_whose_trace_diverges() {
     let msg = err
         .downcast_ref::<String>()
         .cloned()
-        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .or_else(|| err.downcast_ref::<&str>().map(std::string::ToString::to_string))
         .unwrap_or_default();
     assert!(msg.contains("instance 3 bus trace diverges"), "gate must name instance 3: {msg}");
 }

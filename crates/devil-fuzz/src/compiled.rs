@@ -711,8 +711,8 @@ pub fn rooted_verdict(
         "{name}: compiled {surface} diverge from the interpreter; bisection names \
          observation line {i} in {} hash compares\n  interpreter: {}\n  compiled:    {}\n  {}",
         d.compares,
-        want_lines.get(i).map(String::as_str).unwrap_or("<stream ended>"),
-        got_lines.get(i).map(String::as_str).unwrap_or("<stream ended>"),
+        want_lines.get(i).map_or("<stream ended>", String::as_str),
+        got_lines.get(i).map_or("<stream ended>", String::as_str),
         first_line_diff(want_lines, got_lines),
     ))
 }

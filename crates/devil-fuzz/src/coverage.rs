@@ -204,6 +204,55 @@ impl Coverage {
     pub fn fallback_shapes(&self) -> usize {
         self.fallbacks.len()
     }
+
+    /// The distinct fallback shapes observed, rendered as stable,
+    /// sorted `access fallback Cause` lines. This is the set the
+    /// nightly corpus job diffs across corpus generations: a grown
+    /// corpus that discovers (or loses) a way to miss shows up as a
+    /// line-level diff of the committed shape file, not just a count.
+    pub fn fallback_set(&self, ir: &DeviceIr) -> BTreeSet<String> {
+        self.fallbacks.iter().map(|rec| fallback_name(ir, rec)).collect()
+    }
+}
+
+/// Renders one fallback dispatch record with access provenance.
+fn fallback_name(ir: &DeviceIr, rec: &DispatchRecord) -> String {
+    let access = match rec.access {
+        AccessRef::ReadVar(vid) => format!("read {}", ir.var(vid).name),
+        AccessRef::WriteVar(vid) => format!("write {}", ir.var(vid).name),
+        AccessRef::ReadStruct(sid) => format!("read_struct {}", ir.structs[sid.0 as usize].name),
+        AccessRef::WriteStruct(sid) => {
+            format!("write_struct {}", ir.structs[sid.0 as usize].name)
+        }
+        AccessRef::Superplan(si) => format!("superplan {}", ir.superplans()[si].name),
+    };
+    match rec.outcome {
+        DispatchOutcome::Fallback(cause) => format!("{access} fallback {cause:?}"),
+        // Unreachable for records held in `fallbacks`, but total anyway.
+        DispatchOutcome::Cell => format!("{access} cell"),
+        DispatchOutcome::Variant(i) => format!("{access} variant {i}"),
+    }
+}
+
+/// The committed fallback-shape inventory for the whole spec library
+/// (one `spec: shape` line per observed shape, sorted), regenerated by
+/// the same `UPDATE_CORPUS=1` convention as the corpora themselves.
+pub fn fallback_shapes_path() -> PathBuf {
+    corpus_dir().join("fallback-shapes.txt")
+}
+
+/// Serializes one library-wide fallback-shape inventory.
+pub fn format_fallback_shapes(shapes: &BTreeMap<String, BTreeSet<String>>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Fallback shapes reached by the shipped coverage corpus,");
+    let _ = writeln!(out, "# per spec. Regenerate with UPDATE_CORPUS=1 (coverage_corpus");
+    let _ = writeln!(out, "# test); the nightly corpus job diffs this across generations.");
+    for (name, set) in shapes {
+        for shape in set {
+            let _ = writeln!(out, "{name}: {shape}");
+        }
+    }
+    out
 }
 
 /// Replays one raw word stream — variable/struct ops first, then the

@@ -12,6 +12,8 @@
 //! so a failing proptest case is replayable from its printed seed
 //! (`PROPTEST_SEED=<n>`).
 
+#![forbid(unsafe_code)]
+
 use devil_ir::DeviceIr;
 use devil_runtime::{DeviceInstance, FakeAccess};
 use devil_sema::model::{Offset, StructId, VarId};

@@ -12,13 +12,14 @@
 //! ```
 
 use devil_fuzz::coverage::{
-    corpus_path, cover_stream, format_corpus, grow_corpus, minimize, shipped_corpus,
-    uniform_coverage, Coverage, CoverageSpace,
+    corpus_path, cover_stream, fallback_shapes_path, format_corpus, format_fallback_shapes,
+    grow_corpus, minimize, shipped_corpus, uniform_coverage, Coverage, CoverageSpace,
 };
 use devil_fuzz::decode;
 use devil_fuzz::rooted::check_equivalence_rooted;
 use devil_fuzz::superfuzz::{check_superplan_equivalence_rooted, decode_super, install_synthetic};
 use devil_ir::DeviceIr;
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// Fixed growth seed: the corpus is a deterministic function of
@@ -130,6 +131,42 @@ fn shipped_corpus_reaches_every_plan_variant() {
     assert!(
         uniform_total < guided_total,
         "uniform baseline ({uniform_total}) must stay below the guided corpus ({guided_total})"
+    );
+}
+
+/// The fallback shapes the shipped corpus reaches are an inventory,
+/// not just a count: the committed `fallback-shapes.txt` pins the set
+/// per spec, so a corpus generation that discovers a new way to miss —
+/// or silently loses one — is a reviewable line diff. The nightly
+/// corpus job regenerates the corpus at a 10× budget and diffs this
+/// file across generations (ROADMAP's fallback-drift thread).
+#[test]
+fn shipped_corpus_fallback_shapes_match_committed_inventory() {
+    maybe_regenerate();
+    let mut shapes: BTreeMap<String, std::collections::BTreeSet<String>> = BTreeMap::new();
+    for rig in rigs() {
+        let space = CoverageSpace::of(&rig.ir);
+        let mut cov = Coverage::new(&space);
+        for s in &shipped_corpus(rig.name) {
+            cover_stream(&rig.ir, &space, &mut cov, s);
+        }
+        shapes.insert(rig.name.to_string(), cov.fallback_set(&rig.ir));
+    }
+    let rendered = format_fallback_shapes(&shapes);
+    let path = fallback_shapes_path();
+    if std::env::var_os("UPDATE_CORPUS").is_some() {
+        std::fs::write(&path, &rendered).expect("write fallback shapes");
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("reading {} (run UPDATE_CORPUS=1 to create): {e}", path.display())
+    });
+    assert_eq!(
+        committed,
+        rendered,
+        "fallback-shape inventory drifted from {} — a corpus generation gained or \
+         lost a miss shape; inspect the diff, then regenerate with UPDATE_CORPUS=1",
+        path.display()
     );
 }
 

@@ -28,6 +28,8 @@
 //!   a `(start, len)` range into it, so dispatch is an index and
 //!   execution walks a single cache-friendly slice.
 
+#![forbid(unsafe_code)]
+
 use devil_sema::model::{
     Action, ActionTarget, ActionValue, Behavior, CheckedDevice, ChunkArg, CondSem, FamilyParam,
     Neutral, Offset, PortBinding, RegId, SerStep, StructId, TypeSem, VarId,
@@ -855,16 +857,10 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
             Some(plan) => (plan.steps.clone().into(), plan.steps.clone().into()),
             None => (default_order.clone().into(), default_order.into()),
         };
-        let readable = v
-            .bits
-            .as_ref()
-            .map(|cs| cs.iter().all(|c| model.reg(c.reg).readable()))
-            .unwrap_or(true);
-        let writable = v
-            .bits
-            .as_ref()
-            .map(|cs| cs.iter().all(|c| model.reg(c.reg).writable()))
-            .unwrap_or(true);
+        let readable =
+            v.bits.as_ref().is_none_or(|cs| cs.iter().all(|c| model.reg(c.reg).readable()));
+        let writable =
+            v.bits.as_ref().is_none_or(|cs| cs.iter().all(|c| model.reg(c.reg).writable()));
         // Memory cells have no register bits to assemble: they must
         // keep `None` so cached getters read the cell, not an empty
         // (always-0) segment list.
@@ -980,6 +976,11 @@ pub fn lower(model: &CheckedDevice) -> DeviceIr {
         .map(|(i, s): (usize, &StructIr)| (s.name.clone(), StructId(i as u32)))
         .collect();
     struct_names.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Fallbacks sort by (access, cause): compilation visits accesses in
+    // declaration order, but consumers (manifests, diagnostics) need an
+    // order that is stable under refactors of the compile passes.
+    plan_fallbacks.sort_by(|a, b| (&a.access, &a.cause).cmp(&(&b.access, &b.cause)));
 
     DeviceIr {
         name: model.name.clone(),
@@ -1854,7 +1855,7 @@ fn cond_vars(cond: &CondSem, out: &mut Vec<VarId>) {
 fn eval_cond_static(cond: &CondSem, assign: &[(VarId, u64)]) -> bool {
     match cond {
         CondSem::Cmp { var, eq, value } => {
-            let v = assign.iter().find(|(id, _)| id == var).map(|&(_, v)| v).unwrap_or(0);
+            let v = assign.iter().find(|(id, _)| id == var).map_or(0, |&(_, v)| v);
             (v == *value) == *eq
         }
         CondSem::And(a, b) => eval_cond_static(a, assign) && eval_cond_static(b, assign),
@@ -1993,7 +1994,7 @@ fn dim_info(
             radix,
         });
     }
-    let w_segs: &[VarSeg] = written.map(|w| &vars[w.0 as usize].segs[..]).unwrap_or(&[]);
+    let w_segs: &[VarSeg] = written.map_or(&[], |w| &vars[w.0 as usize].segs[..]);
     let mut cache_segs = Vec::new();
     let mut input_segs = Vec::new();
     let mut input_mask = 0u64;
@@ -2414,6 +2415,44 @@ impl DeviceIr {
     #[inline]
     pub fn mem_owner(&self, cell: usize) -> Option<VarId> {
         self.mem_owners.get(cell).copied()
+    }
+
+    /// The register family whose indexed slot range contains `slot`,
+    /// with the slot's offset into the range. Complements
+    /// [`DeviceIr::slot_owner`], which names only concrete registers —
+    /// together they give every flat cache slot a provenance.
+    pub fn family_slot_owner(&self, slot: usize) -> Option<(RegId, usize)> {
+        for (ri, r) in self.regs.iter().enumerate() {
+            if let Some(fs) = &r.family_slots {
+                if (fs.base..fs.base + fs.count).contains(&slot) {
+                    return Some((RegId(ri as u32), slot - fs.base));
+                }
+            }
+        }
+        None
+    }
+
+    /// Human-readable provenance of a flat cache slot: the owning
+    /// register's name, with the instance index for family ranges.
+    /// Diagnostics and manifests use this so a slot number is never the
+    /// only handle on a finding.
+    pub fn slot_name(&self, slot: usize) -> String {
+        if let Some(rid) = self.slot_owner(slot) {
+            return self.reg(rid).name.clone();
+        }
+        if let Some((rid, idx)) = self.family_slot_owner(slot) {
+            return format!("{}[{idx}]", self.reg(rid).name);
+        }
+        format!("slot#{slot}")
+    }
+
+    /// Human-readable provenance of a private memory cell: the owning
+    /// variable's name.
+    pub fn cell_name(&self, cell: usize) -> String {
+        match self.mem_owner(cell) {
+            Some(vid) => self.var(vid).name.clone(),
+            None => format!("cell#{cell}"),
+        }
     }
 
     /// Every access that kept the general interpreter, with its cause.
@@ -2923,7 +2962,7 @@ impl DeviceIr {
                 .guards
                 .iter()
                 .filter(|g| !matches!(g.source, GuardSource::Input))
-                .cloned()
+                .copied()
                 .collect();
             variants.push((guards, steps));
         }

@@ -29,6 +29,8 @@
 //! assert_eq!(instance.read(&mut dev, "v").unwrap(), 0x42);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod access;
 pub mod error;
 pub mod interp;

@@ -499,7 +499,7 @@ fn check_trigger_conflicts(model: &CheckedDevice, diags: &mut DiagSink) {
             .iter()
             .enumerate()
             .filter(|(_, v)| {
-                v.bits.as_ref().map(|cs| cs.iter().any(|c| c.reg == rid)).unwrap_or(false)
+                v.bits.as_ref().is_some_and(|cs| cs.iter().any(|c| c.reg == rid))
                     && var_directions(model, v).1
             })
             .map(|(i, v)| (VarId(i as u32), v))

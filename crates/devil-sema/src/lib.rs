@@ -22,6 +22,8 @@
 //! assert_eq!(checked.registers.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod checks;
 pub mod model;
 pub mod resolve;

@@ -473,7 +473,7 @@ impl VarDef {
     /// Total bit width of the variable.
     pub fn width(&self) -> u32 {
         match &self.bits {
-            Some(chunks) => chunks.iter().map(|c| c.width()).sum(),
+            Some(chunks) => chunks.iter().map(BitChunk::width).sum(),
             None => self.ty.width(),
         }
     }

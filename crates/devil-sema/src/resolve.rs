@@ -369,7 +369,7 @@ impl<'a, 'd> Resolver<'a, 'd> {
     ) -> Option<TypeSem> {
         let width = match var_width {
             Some(w) => w,
-            None => e.arms.first().map(|a| a.pattern.len() as u32).unwrap_or(1),
+            None => e.arms.first().map_or(1, |a| a.pattern.len() as u32),
         };
         let mut arms: Vec<EnumArmSem> = Vec::new();
         for arm in &e.arms {
@@ -524,22 +524,15 @@ impl<'a, 'd> Resolver<'a, 'd> {
     }
 
     fn resolve_instance_register(&mut self, r: &ast::RegisterDecl) -> Option<RegDef> {
-        let (family_name, args) = match &r.spec {
-            ast::RegSpec::Instance { family, args } => (family, args),
-            _ => unreachable!(),
+        let ast::RegSpec::Instance { family: family_name, args } = &r.spec else { unreachable!() };
+        let Some((_, fam)) = self.find_register(&family_name.name) else {
+            self.diags.error(
+                ErrorCode::TUndefined,
+                format!("undefined register family `{}`", family_name.name),
+                family_name.span,
+            );
+            return None;
         };
-        let (fam_id, fam) = match self.find_register(&family_name.name) {
-            Some(x) => x,
-            None => {
-                self.diags.error(
-                    ErrorCode::TUndefined,
-                    format!("undefined register family `{}`", family_name.name),
-                    family_name.span,
-                );
-                return None;
-            }
-        };
-        let _ = fam_id;
         let fam = fam.clone();
         if !r.params.is_empty() {
             self.diags.error(
@@ -634,19 +627,11 @@ impl<'a, 'd> Resolver<'a, 'd> {
         params: &[FamilyParam],
         size: u32,
     ) -> Option<PortBinding> {
-        let (pid, pdef) = match self.find_port(&port.base.name) {
-            Some(x) => x,
-            None => {
-                let kind = self.names.get(&port.base.name).map(|(k, _)| *k);
-                let code =
-                    if kind.is_some() { ErrorCode::TWrongKind } else { ErrorCode::TUndefined };
-                self.diags.error(
-                    code,
-                    format!("`{}` is not a port", port.base.name),
-                    port.base.span,
-                );
-                return None;
-            }
+        let Some((pid, pdef)) = self.find_port(&port.base.name) else {
+            let kind = self.names.get(&port.base.name).map(|(k, _)| *k);
+            let code = if kind.is_some() { ErrorCode::TWrongKind } else { ErrorCode::TUndefined };
+            self.diags.error(code, format!("`{}` is not a port", port.base.name), port.base.span);
+            return None;
         };
         let pdef_width = pdef.width;
         let pdef_clone = pdef.clone();
@@ -822,9 +807,9 @@ impl<'a, 'd> Resolver<'a, 'd> {
                 None
             }
         };
-        let width = bits
-            .as_ref()
-            .map(|chunks: &Vec<BitChunk>| chunks.iter().map(|c| c.width()).sum::<u32>());
+        let width = bits.as_ref().map(|chunks: &Vec<BitChunk>| {
+            chunks.iter().map(super::model::BitChunk::width).sum::<u32>()
+        });
         let ty = match &v.ty {
             Some(t) => self.resolve_type(t, width, None)?,
             None => {
@@ -997,19 +982,16 @@ impl<'a, 'd> Resolver<'a, 'd> {
     ) -> Option<Vec<BitChunk>> {
         let mut chunks = Vec::new();
         for atom in &be.atoms {
-            let (rid, reg) = match self.find_register(&atom.reg.name) {
-                Some(x) => x,
-                None => {
-                    let kind = self.names.get(&atom.reg.name).map(|(k, _)| *k);
-                    let code =
-                        if kind.is_some() { ErrorCode::TWrongKind } else { ErrorCode::TUndefined };
-                    self.diags.error(
-                        code,
-                        format!("`{}` is not a register", atom.reg.name),
-                        atom.reg.span,
-                    );
-                    return None;
-                }
+            let Some((rid, reg)) = self.find_register(&atom.reg.name) else {
+                let kind = self.names.get(&atom.reg.name).map(|(k, _)| *k);
+                let code =
+                    if kind.is_some() { ErrorCode::TWrongKind } else { ErrorCode::TUndefined };
+                self.diags.error(
+                    code,
+                    format!("`{}` is not a register", atom.reg.name),
+                    atom.reg.span,
+                );
+                return None;
             };
             let reg = reg.clone();
             // Family arguments.

@@ -28,6 +28,8 @@
 //! assert_eq!(device.unwrap().name.name, "demo");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod diag;
 pub mod lexer;

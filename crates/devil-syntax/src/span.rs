@@ -109,8 +109,7 @@ impl SourceMap {
     pub fn line_text(&self, offset: u32) -> &str {
         let lc = self.line_col(offset);
         let start = self.line_starts[(lc.line - 1) as usize] as usize;
-        let end =
-            self.line_starts.get(lc.line as usize).map(|&e| e as usize).unwrap_or(self.src.len());
+        let end = self.line_starts.get(lc.line as usize).map_or(self.src.len(), |&e| e as usize);
         self.src[start..end].trim_end_matches(['\n', '\r'])
     }
 

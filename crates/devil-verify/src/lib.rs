@@ -1,0 +1,247 @@
+//! Static verification of compiled plan surfaces.
+//!
+//! The fuzzers sample the equivalences this repo is built on; this
+//! crate proves the ones that are provable from the compiled artifact
+//! alone. It runs abstract interpretation and symbolic execution over
+//! the [`devil_ir::DeviceIr`] plan arena — the thing that actually
+//! executes, and that both stub emitters emit from — and establishes,
+//! per specification:
+//!
+//! * **guard soundness** ([`guards`]): every access's variant table is
+//!   exactly the mixed-radix enumeration its selector describes, the
+//!   stored [`devil_ir::PlanGuard`] lists match the selector bit for
+//!   bit, variant domains are pairwise disjoint, and — together with
+//!   the documented out-of-range-cell fallback — exhaustive over the
+//!   reachable guard space;
+//! * **dead variants** ([`reach`]): a whole-spec value-set analysis of
+//!   everything that can feed a tested slot or cell (device reads, API
+//!   writes, folded actions, arena stores) flags variants whose guard
+//!   domain no reachable state selects;
+//! * **step well-formedness** ([`wf`]): ungated slot reads, compose
+//!   masks outside the owning register's width, block transfers outside
+//!   their declared port domains, and reverse-map (slot/cell owner)
+//!   inconsistencies;
+//! * **fused ≡ unfused** ([`sym`]): for every installed superplan, a
+//!   bit-level symbolic execution of the fused arena range and of the
+//!   constituent unfused plans, proving the emitted bus-op streams,
+//!   outputs and final cache/memory state equal *as terms* — the
+//!   equivalence the differential fuzzers only sample;
+//! * **plan-surface manifest** ([`manifest`]): a canonical, committed
+//!   rendering of the whole dispatch surface (variants × guards × cell
+//!   serves × superplan variants × compile-time fallbacks) whose diff
+//!   is the drift gate CI runs on every PR.
+
+#![forbid(unsafe_code)]
+
+pub mod guards;
+pub mod manifest;
+pub mod reach;
+pub mod sym;
+pub mod wf;
+
+use devil_ir::{AccessPlan, DeviceIr, PlanSlot};
+
+/// The diagnostic classes the verifier can report. Each class has at
+/// least one deliberately-broken IR in the test suite proving it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DiagClass {
+    /// The variant table, selector and stored guard lists disagree:
+    /// wrong variant count for the selector's mixed-radix space, or a
+    /// stored guard list that does not match the guards the selector
+    /// implies for that variant index.
+    SelectorMismatch,
+    /// Two variant guard domains intersect: a selector dimension cannot
+    /// discriminate all value pairs it enumerates, so distinct variants
+    /// share satisfying states.
+    GuardOverlap,
+    /// A selector dimension can assemble a value outside its enumerated
+    /// radix from a non-cell source, so selection could miss where no
+    /// documented fallback exists.
+    NonExhaustive,
+    /// A variant whose guard domain no reachable state selects, given
+    /// value-set analysis of every write that can feed the tested
+    /// slots/cells.
+    DeadVariant,
+    /// A step (or assemble list) reads a cache slot that may be invalid
+    /// at that point without a validity gate.
+    UngatedRead,
+    /// A compose mask (store, write, forced bits) sets bits outside the
+    /// owning register's declared width.
+    StoreMask,
+    /// A block transfer step outside its declared port domain (bad port
+    /// index or a width that is not the port's access width).
+    BlockBounds,
+    /// `slot_owner`/`mem_owner` reverse maps inconsistent with the
+    /// registers, variables, or arena contents.
+    OwnerMap,
+    /// The symbolic fused execution of a superplan variant does not
+    /// match its unfused op-by-op reference (bus stream, outputs, or
+    /// final cache/memory state), or the proof could not be closed.
+    FusedDivergence,
+}
+
+impl DiagClass {
+    /// Short stable label, used by the CLI and tests.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiagClass::SelectorMismatch => "selector-mismatch",
+            DiagClass::GuardOverlap => "guard-overlap",
+            DiagClass::NonExhaustive => "non-exhaustive",
+            DiagClass::DeadVariant => "dead-variant",
+            DiagClass::UngatedRead => "ungated-read",
+            DiagClass::StoreMask => "store-mask",
+            DiagClass::BlockBounds => "block-bounds",
+            DiagClass::OwnerMap => "owner-map",
+            DiagClass::FusedDivergence => "fused-divergence",
+        }
+    }
+}
+
+/// One verifier finding, with access/variant provenance.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The finding's class.
+    pub class: DiagClass,
+    /// The access it is about (`write w`, `superplan tx`, `device`).
+    pub access: String,
+    /// Human-readable detail, with slot/cell provenance.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.class.label(), self.access, self.detail)
+    }
+}
+
+/// One access plan of the compiled surface, with its provenance.
+pub struct PlanRef<'a> {
+    /// The access name, as used in diagnostics and manifests.
+    pub access: String,
+    /// The plan itself.
+    pub plan: &'a AccessPlan,
+    /// Whether guards may source from the access's input (write plans).
+    pub input_allowed: bool,
+    /// The superplan index, for fused plans.
+    pub superplan: Option<usize>,
+}
+
+/// Enumerates every compiled access plan of `ir` in the canonical
+/// manifest order: variables (reads before writes), structures,
+/// superplans — each in id/declaration order.
+pub fn plan_refs(ir: &DeviceIr) -> Vec<PlanRef<'_>> {
+    let mut out = Vec::new();
+    for var in &ir.vars {
+        if let Some(plan) = &var.read_plan {
+            out.push(PlanRef {
+                access: format!("read {}", var.name),
+                plan,
+                input_allowed: false,
+                superplan: None,
+            });
+        }
+        if let Some(plan) = &var.write_plan {
+            out.push(PlanRef {
+                access: format!("write {}", var.name),
+                plan,
+                input_allowed: true,
+                superplan: None,
+            });
+        }
+    }
+    for st in &ir.structs {
+        if let Some(plan) = &st.read_plan {
+            out.push(PlanRef {
+                access: format!("read struct {}", st.name),
+                plan,
+                input_allowed: false,
+                superplan: None,
+            });
+        }
+        if let Some(plan) = &st.write_plan {
+            out.push(PlanRef {
+                access: format!("write struct {}", st.name),
+                plan,
+                input_allowed: false,
+                superplan: None,
+            });
+        }
+    }
+    for (si, sp) in ir.superplans().iter().enumerate() {
+        out.push(PlanRef {
+            access: format!("superplan {}", sp.name),
+            plan: &sp.plan,
+            input_allowed: false,
+            superplan: Some(si),
+        });
+    }
+    out
+}
+
+/// The inclusive-exclusive flat-slot range a [`PlanSlot`] may resolve
+/// to (mirrors the compiler's conservative span logic).
+pub(crate) fn slot_span(s: &PlanSlot) -> (usize, usize) {
+    match s {
+        PlanSlot::Fixed(i) => (*i, i + 1),
+        PlanSlot::Indexed { base, dims } => {
+            let span: usize = dims.iter().map(|(_, d)| d.count.saturating_sub(1) * d.stride).sum();
+            (*base, base + span + 1)
+        }
+    }
+}
+
+/// Conservative may-alias test between two plan slots.
+pub(crate) fn spans_overlap(a: (usize, usize), b: (usize, usize)) -> bool {
+    a.0 < b.1 && b.0 < a.1
+}
+
+/// A full verification report for one device.
+pub struct Report {
+    /// Every finding, in pass order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Superplans whose fused ≡ unfused equivalence was proven.
+    pub superplans_proven: usize,
+    /// Superplans installed on the device.
+    pub superplans_total: usize,
+}
+
+impl Report {
+    /// Whether the device verified clean.
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.superplans_proven == self.superplans_total
+    }
+}
+
+/// Runs every verification pass over one lowered device.
+pub fn verify(ir: &DeviceIr) -> Report {
+    let mut diagnostics = Vec::new();
+    let guard_clean = guards::check(ir, &mut diagnostics);
+    // Dead-variant analysis interprets stored guard lists; skip accesses
+    // whose selector already mismatched (their guards are not trustworthy
+    // provenance).
+    reach::check(ir, &guard_clean, &mut diagnostics);
+    wf::check(ir, &mut diagnostics);
+    let (proven, total) = sym::check(ir, &mut diagnostics);
+    Report { diagnostics, superplans_proven: proven, superplans_total: total }
+}
+
+/// The embedded spec library the CLI and CI gate run over: the 8
+/// shipped drivers plus the 5 synthetic formerly-fallback specs, each
+/// with its declared superplans installed — the exact rig set the
+/// fuzz targets and compiled oracles enumerate.
+pub fn spec_library() -> Vec<(String, DeviceIr)> {
+    drivers::specs::ALL
+        .iter()
+        .chain(devil_fuzz::synthetic::ALL)
+        .map(|(name, src)| {
+            let model = devil_sema::check_source(src, &[]).expect("embedded spec checks");
+            let mut ir = devil_ir::lower(&model);
+            if devil_fuzz::synthetic::ALL.iter().any(|(n, _)| n == name) {
+                devil_fuzz::superfuzz::install_synthetic(name, &mut ir);
+            } else {
+                drivers::superplans::install(&mut ir);
+            }
+            ((*name).to_string(), ir)
+        })
+        .collect()
+}

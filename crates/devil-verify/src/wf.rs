@@ -1,0 +1,408 @@
+//! Step well-formedness: every arena step checked against the device's
+//! declared domains, and the reverse provenance maps checked against
+//! the registers and variables they index.
+//!
+//! Four families of proof obligations:
+//!
+//! * **owner maps** — `slot_owner` must be the exact inverse of the
+//!   concrete registers' slot assignments, every flat slot must have a
+//!   provenance (concrete or family range, never both), and `mem_owner`
+//!   must be the exact inverse of the variables' cell assignments;
+//! * **access domains** — a `Read`/`Write` step must use its register's
+//!   declared binding (port and width) and address a slot the register
+//!   actually owns;
+//! * **compose masks** — every constant and segment a store or write
+//!   composes must stay within the owning register's raw width, and
+//!   stored segments must be cleared out of the kept bits (the
+//!   store-compose algebra relies on the disjointness);
+//! * **gated reads** — a superplan `Assemble` step reads slots raw, so
+//!   every assembled slot must be written by a preceding step of the
+//!   same fused body (stage included); variable read plans are exempt —
+//!   the runtime gates their assembly dynamically (`serve_cached`
+//!   requires every assemble slot valid before skipping the steps).
+
+use crate::{plan_refs, slot_span, spans_overlap, DiagClass, Diagnostic};
+use devil_ir::{DeviceIr, PlanStep};
+use devil_sema::model::RegId;
+
+/// Checks the reverse provenance maps.
+fn check_owner_maps(ir: &DeviceIr, diagnostics: &mut Vec<Diagnostic>) {
+    let mut diag = |detail: String| {
+        diagnostics.push(Diagnostic {
+            class: DiagClass::OwnerMap,
+            access: "device".into(),
+            detail,
+        });
+    };
+    for (ri, r) in ir.regs.iter().enumerate() {
+        let rid = RegId(ri as u32);
+        if let Some(s) = r.slot {
+            if s >= ir.cache_slots {
+                diag(format!("register {} claims slot {s} beyond {}", r.name, ir.cache_slots));
+            } else if ir.slot_owner(s) != Some(rid) {
+                diag(format!("slot_owner({s}) does not name its register {}", r.name));
+            }
+        }
+        if let Some(fs) = &r.family_slots {
+            if fs.base + fs.count > ir.cache_slots {
+                diag(format!(
+                    "family {} claims slots {}..{} beyond {}",
+                    r.name,
+                    fs.base,
+                    fs.base + fs.count,
+                    ir.cache_slots
+                ));
+            }
+        }
+    }
+    for s in 0..ir.cache_slots {
+        match (ir.slot_owner(s), ir.family_slot_owner(s)) {
+            (Some(rid), _) if ir.reg(rid).slot != Some(s) => {
+                diag(format!(
+                    "slot_owner({s}) names {} which owns {:?}",
+                    ir.reg(rid).name,
+                    ir.reg(rid).slot
+                ));
+            }
+            (None, None) => diag(format!("slot {s} has no owning register")),
+            _ => {}
+        }
+    }
+    for (vi, v) in ir.vars.iter().enumerate() {
+        if let Some(c) = v.mem_cell {
+            if c >= ir.mem_cells {
+                diag(format!("variable {} claims cell {c} beyond {}", v.name, ir.mem_cells));
+            } else if ir.mem_owner(c).map(|vid| vid.0 as usize) != Some(vi) {
+                diag(format!("mem_owner({c}) does not name its variable {}", v.name));
+            }
+        }
+    }
+    for c in 0..ir.mem_cells {
+        match ir.mem_owner(c) {
+            Some(vid) if ir.var(vid).mem_cell == Some(c) => {}
+            Some(vid) => diag(format!(
+                "mem_owner({c}) names {} which owns {:?}",
+                ir.var(vid).name,
+                ir.var(vid).mem_cell
+            )),
+            None => diag(format!("cell {c} has no owning variable")),
+        }
+    }
+}
+
+/// Whether `rid` owns every slot `span` can resolve to.
+fn reg_owns_span(ir: &DeviceIr, rid: RegId, span: (usize, usize)) -> bool {
+    let r = ir.reg(rid);
+    if r.slot.is_some_and(|s| span == (s, s + 1)) {
+        return true;
+    }
+    r.family_slots.as_ref().is_some_and(|fs| fs.base <= span.0 && span.1 <= fs.base + fs.count)
+}
+
+/// The raw-width mask of a register.
+fn width_mask(size: u32) -> u64 {
+    if size >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << size) - 1
+    }
+}
+
+/// Checks one access/compose step's domains and masks, plus the
+/// owner of any slot it stores to.
+fn check_steps(
+    ir: &DeviceIr,
+    access: &str,
+    in_superplan: bool,
+    steps: &[PlanStep],
+    written: &mut Vec<(usize, usize)>,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let mut diag = |class: DiagClass, detail: String| {
+        diagnostics.push(Diagnostic { class, access: access.to_string(), detail });
+    };
+    for (si, step) in steps.iter().enumerate() {
+        match step {
+            PlanStep::Read(a) | PlanStep::Write(a, _) => {
+                let Some(r) = ir.regs.get(a.reg.0 as usize) else {
+                    diag(DiagClass::OwnerMap, format!("step {si} accesses unknown register"));
+                    continue;
+                };
+                let binding = if matches!(step, PlanStep::Read(_)) { &r.read } else { &r.write };
+                match binding {
+                    None => diag(
+                        DiagClass::BlockBounds,
+                        format!("step {si}: register {} has no such binding", r.name),
+                    ),
+                    Some(b) if b.port.0 != a.port => diag(
+                        DiagClass::BlockBounds,
+                        format!(
+                            "step {si}: register {} is bound to port {} not {}",
+                            r.name, b.port.0, a.port
+                        ),
+                    ),
+                    Some(_) => {}
+                }
+                if a.size != r.size {
+                    diag(
+                        DiagClass::BlockBounds,
+                        format!(
+                            "step {si}: {}-bit access to {}-bit register {}",
+                            a.size, r.size, r.name
+                        ),
+                    );
+                }
+                match ir.ports.get(a.port as usize) {
+                    Some(p) if p.width == a.size => {}
+                    Some(p) => diag(
+                        DiagClass::BlockBounds,
+                        format!(
+                            "step {si}: {}-bit access on {}-bit port {}",
+                            a.size, p.width, p.name
+                        ),
+                    ),
+                    None => diag(
+                        DiagClass::BlockBounds,
+                        format!("step {si}: port {} out of range", a.port),
+                    ),
+                }
+                let span = slot_span(&a.slot);
+                if !reg_owns_span(ir, a.reg, span) {
+                    diag(
+                        DiagClass::OwnerMap,
+                        format!(
+                            "step {si}: register {} does not own slot span {}..{}",
+                            r.name, span.0, span.1
+                        ),
+                    );
+                }
+                if let PlanStep::Write(_, c) = step {
+                    let wm = width_mask(r.size);
+                    if c.const_or & !wm != 0 || c.out_or & !wm != 0 {
+                        diag(
+                            DiagClass::StoreMask,
+                            format!(
+                                "step {si}: composed constants {:#x}/{:#x} exceed {}-bit {}",
+                                c.const_or, c.out_or, r.size, r.name
+                            ),
+                        );
+                    }
+                    for ws in &c.segs {
+                        if ws.seg.reg_mask() & !wm != 0 {
+                            diag(
+                                DiagClass::StoreMask,
+                                format!(
+                                    "step {si}: segment mask {:#x} exceeds {}-bit {}",
+                                    ws.seg.reg_mask(),
+                                    r.size,
+                                    r.name
+                                ),
+                            );
+                        }
+                        if ws.seg.reg_mask() & c.keep_and != 0 {
+                            diag(
+                                DiagClass::StoreMask,
+                                format!(
+                                    "step {si}: kept bits overlap stored segment {:#x} on {}",
+                                    ws.seg.reg_mask(),
+                                    r.name
+                                ),
+                            );
+                        }
+                    }
+                }
+                written.push(span);
+            }
+            PlanStep::Store(slot, c) => {
+                let span = slot_span(slot);
+                let owner = ir
+                    .slot_owner(span.0)
+                    .or_else(|| ir.family_slot_owner(span.0).map(|(rid, _)| rid));
+                match owner {
+                    None => diag(
+                        DiagClass::OwnerMap,
+                        format!("step {si}: store to unowned slot {}", span.0),
+                    ),
+                    Some(rid) => {
+                        let r = ir.reg(rid);
+                        let wm = width_mask(r.size);
+                        if !reg_owns_span(ir, rid, span) {
+                            diag(
+                                DiagClass::OwnerMap,
+                                format!(
+                                    "step {si}: store span {}..{} crosses out of {}",
+                                    span.0, span.1, r.name
+                                ),
+                            );
+                        }
+                        if c.const_or & !wm != 0 {
+                            diag(
+                                DiagClass::StoreMask,
+                                format!(
+                                    "step {si}: stored constant {:#x} exceeds {}-bit {}",
+                                    c.const_or, r.size, r.name
+                                ),
+                            );
+                        }
+                        for ws in &c.segs {
+                            if ws.seg.reg_mask() & !wm != 0 {
+                                diag(
+                                    DiagClass::StoreMask,
+                                    format!(
+                                        "step {si}: stored segment {:#x} exceeds {}-bit {}",
+                                        ws.seg.reg_mask(),
+                                        r.size,
+                                        r.name
+                                    ),
+                                );
+                            }
+                            if ws.seg.reg_mask() & c.keep_and != 0 {
+                                diag(
+                                    DiagClass::StoreMask,
+                                    format!(
+                                        "step {si}: kept bits overlap stored segment {:#x} on {}",
+                                        ws.seg.reg_mask(),
+                                        r.name
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+                written.push(span);
+            }
+            PlanStep::SetCell { cell, .. } => {
+                if *cell >= ir.mem_cells {
+                    diag(
+                        DiagClass::OwnerMap,
+                        format!("step {si}: set of cell {cell} beyond {}", ir.mem_cells),
+                    );
+                }
+            }
+            PlanStep::BlockIn { port, size, .. } | PlanStep::BlockOut { port, size, .. } => {
+                if !in_superplan {
+                    diag(
+                        DiagClass::BlockBounds,
+                        format!("step {si}: block transfer outside a superplan body"),
+                    );
+                }
+                match ir.ports.get(*port as usize) {
+                    Some(p) if p.width == *size => {}
+                    Some(p) => diag(
+                        DiagClass::BlockBounds,
+                        format!(
+                            "step {si}: {size}-bit block words on {}-bit port {}",
+                            p.width, p.name
+                        ),
+                    ),
+                    None => diag(
+                        DiagClass::BlockBounds,
+                        format!("step {si}: block port {port} out of range"),
+                    ),
+                }
+            }
+            PlanStep::Assemble { segs, .. } => {
+                if !in_superplan {
+                    diag(
+                        DiagClass::UngatedRead,
+                        format!("step {si}: assemble outside a superplan body"),
+                    );
+                    continue;
+                }
+                // Fused assembly reads slots raw, with no validity
+                // gate: prove every read slot was written earlier in
+                // this body (the zero-invariant alone would mask a
+                // fusion that forgot the read step).
+                for &(slot, _) in segs {
+                    let span = (slot, slot + 1);
+                    if !written.iter().any(|w| spans_overlap(*w, span)) {
+                        diag(
+                            DiagClass::UngatedRead,
+                            format!(
+                                "step {si}: assembles {} with no preceding read/store \
+                                 in the fused body",
+                                ir.slot_name(slot)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the well-formedness pass.
+pub fn check(ir: &DeviceIr, diagnostics: &mut Vec<Diagnostic>) {
+    check_owner_maps(ir, diagnostics);
+    for pr in plan_refs(ir) {
+        // Variant ranges must stay inside the arena before anything
+        // dereferences them.
+        let arena = ir.plan_arena.len() as u32;
+        let stage = pr.superplan.map(|si| &ir.superplans()[si].stage);
+        let ranges = pr.plan.variants.iter().chain(stage);
+        let mut bad_range = false;
+        for (idx, v) in ranges.enumerate() {
+            if v.start + v.len > arena {
+                diagnostics.push(Diagnostic {
+                    class: DiagClass::OwnerMap,
+                    access: pr.access.clone(),
+                    detail: format!(
+                        "variant {idx} range {}..{} exceeds the {arena}-step arena",
+                        v.start,
+                        v.start + v.len
+                    ),
+                });
+                bad_range = true;
+            }
+        }
+        if bad_range {
+            continue;
+        }
+        for (idx, v) in pr.plan.variants.iter().enumerate() {
+            // Superplan bodies see the stage's writes first, exactly as
+            // execution orders them.
+            let mut written: Vec<(usize, usize)> = Vec::new();
+            if let Some(stage) = stage {
+                check_steps(
+                    ir,
+                    &pr.access,
+                    true,
+                    ir.variant_steps(stage),
+                    &mut written,
+                    &mut Vec::new(), // stage re-checked once below
+                );
+            }
+            check_steps(
+                ir,
+                &format!("{} variant {idx}", pr.access),
+                pr.superplan.is_some(),
+                ir.variant_steps(v),
+                &mut written,
+                diagnostics,
+            );
+        }
+        if let Some(stage) = stage {
+            let mut written = Vec::new();
+            check_steps(
+                ir,
+                &format!("{} stage", pr.access),
+                true,
+                ir.variant_steps(stage),
+                &mut written,
+                diagnostics,
+            );
+        }
+        // A variable read plan assembles through the runtime's dynamic
+        // validity gate; still, the assembled slots must be owned.
+        for (slot, _) in &pr.plan.assemble {
+            let span = slot_span(slot);
+            if ir.slot_owner(span.0).is_none() && ir.family_slot_owner(span.0).is_none() {
+                diagnostics.push(Diagnostic {
+                    class: DiagClass::UngatedRead,
+                    access: pr.access.clone(),
+                    detail: format!("assembles from unowned slot {}", span.0),
+                });
+            }
+        }
+    }
+}

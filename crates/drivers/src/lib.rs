@@ -9,6 +9,8 @@
 //! hardware and compare observable behaviour, I/O-operation counts and
 //! simulated time.
 
+#![forbid(unsafe_code)]
+
 pub mod busmouse;
 pub mod ide;
 pub mod ne2000;

@@ -27,6 +27,8 @@
 //! assert_eq!(bus.ledger().io_ops(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bus;
 pub mod clock;
 pub mod device;

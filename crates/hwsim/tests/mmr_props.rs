@@ -85,13 +85,13 @@ proptest! {
         for (i, &(src, w)) in records.iter().enumerate() {
             logs.entry(src).or_insert_with(|| MmrLog::new(true)).push(&w.to_le_bytes());
             if (i + 1) % cadence == 0 {
-                for (&src, log) in logs.iter_mut() {
+                for (&src, log) in &mut logs {
                     let shard = &mut shards[(src >= 3) as usize];
                     shard.append_segment(src, &log.take_segment());
                 }
             }
         }
-        for (&src, log) in logs.iter_mut() {
+        for (&src, log) in &mut logs {
             shards[(src >= 3) as usize].append_segment(src, &log.take_segment());
         }
         let [a, b] = shards;

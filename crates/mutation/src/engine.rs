@@ -105,16 +105,10 @@ pub fn stub_externs(spec_src: &str, prefix: &str) -> Vec<(String, Option<usize>)
     let model = devil_sema::check_source(spec_src, &[]).expect("spec must check");
     let mut out: Vec<(String, Option<usize>)> = Vec::new();
     for (_, var) in model.interface_vars() {
-        let readable = var
-            .bits
-            .as_ref()
-            .map(|cs| cs.iter().all(|c| model.reg(c.reg).readable()))
-            .unwrap_or(true);
-        let writable = var
-            .bits
-            .as_ref()
-            .map(|cs| cs.iter().all(|c| model.reg(c.reg).writable()))
-            .unwrap_or(true);
+        let readable =
+            var.bits.as_ref().is_none_or(|cs| cs.iter().all(|c| model.reg(c.reg).readable()));
+        let writable =
+            var.bits.as_ref().is_none_or(|cs| cs.iter().all(|c| model.reg(c.reg).writable()));
         let arity = var.params.len();
         if readable {
             out.push((format!("{prefix}_get_{}", var.name), Some(arity)));

@@ -15,6 +15,8 @@
 //! operators, identifiers and literals ([`rules`]); a mutant counts as
 //! *detected* when the corresponding checker rejects it.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod fixtures;
 pub mod minic;

@@ -11,7 +11,7 @@ fn main() {
     let files: Vec<PathBuf> = if args.is_empty() {
         let mut v: Vec<PathBuf> = std::fs::read_dir("specs")
             .expect("run from the repository root")
-            .filter_map(|e| e.ok())
+            .filter_map(std::result::Result::ok)
             .map(|e| e.path())
             .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("dil"))
             .collect();

@@ -25,6 +25,8 @@
 //! assert_eq!(dev.regs[&(0, 0)], 0x27);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use devices;
 pub use devil_codegen as codegen;
 pub use devil_eval as eval;
